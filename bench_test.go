@@ -1,0 +1,319 @@
+// Benchmark harness: one benchmark per table and figure from the paper's
+// evaluation section, plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark regenerates its artifact and
+// reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Benchmarks run at the Quick scale (4
+// of the 16 test pairs, shortened runs); use cmd/pearlbench -full for the
+// paper-scale sweep.
+package pearl
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// benchSuite shares one suite (and its trained models) across benchmarks.
+func benchSuite() *experiments.Suite {
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(experiments.Quick())
+	})
+	return suite
+}
+
+func reportRows(b *testing.B, tbl experiments.Table, column string) {
+	b.Helper()
+	col := -1
+	for i, c := range tbl.Columns {
+		if c == column {
+			col = i
+		}
+	}
+	if col < 0 {
+		b.Fatalf("column %q missing in %s", column, tbl.Title)
+	}
+	for _, r := range tbl.Rows {
+		b.ReportMetric(r.Values[col], sanitize(r.Label))
+	}
+}
+
+// sanitize turns a row label into a metric unit token.
+func sanitize(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ', r == '-', r == '/', r == '(', r == ')', r == '%', r == '.', r == '+':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.TableI()
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.TableIIFig()
+		if v, ok := tbl.Value("chip total", "area"); !ok || v <= 0 {
+			b.Fatal("bad chip total")
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.TableV()
+		if v, ok := tbl.Value("laser power 64WL (W)", "value"); !ok || v != 1.16 {
+			b.Fatal("bad laser power")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Mean CPU share across pairs.
+			var sum float64
+			for _, r := range tbl.Rows {
+				sum += r.Values[0]
+			}
+			b.ReportMetric(sum/float64(len(tbl.Rows)), "meanCPUshare_pct")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "64WL-eq")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "vs 64WL %")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "savings %")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range tbl.Rows {
+				// 64WL residency is the paper's headline number.
+				b.ReportMetric(r.Values[4], sanitize(r.Label)+"_64WL_pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "vs CMESH %")
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "vs 64WL %")
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "thr loss %")
+		}
+	}
+}
+
+func BenchmarkNRMSE(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.NRMSE()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "test")
+		}
+	}
+}
+
+// --- Ablation benches (design choices from DESIGN.md) ---
+
+func BenchmarkAblationBandwidthStep(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.AblationBandwidthStep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "throughput")
+		}
+	}
+}
+
+func BenchmarkAblationDBABounds(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.AblationDBABounds()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "CPU lat")
+		}
+	}
+}
+
+func BenchmarkAblationThresholds(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.AblationThresholds()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "laser W")
+		}
+	}
+}
+
+func BenchmarkAblationWindowSweep(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.AblationWindowSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "laser W")
+		}
+	}
+}
+
+func BenchmarkAblationFeatureSubset(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.AblationFeatureSubset()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "val score")
+		}
+	}
+}
+
+func BenchmarkAblationLabelChoice(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.AblationLabelChoice()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "laser W")
+		}
+	}
+}
+
+func BenchmarkExtensions(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.Extensions()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "savings %")
+		}
+	}
+}
+
+func BenchmarkThermalStudy(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tbl, err := s.ThermalStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, tbl, "net gated W")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command pearlbench regenerates every table and figure from the paper's
+// evaluation section: Tables I, II and V, Figures 4-11 and the §IV.C
+// NRMSE numbers. Output is aligned text, one block per artifact, suitable
+// for diffing against EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pearlbench                 # quick scale (4 test pairs, short runs)
+//	pearlbench -full           # paper scale (16 pairs, 60k cycles)
+//	pearlbench -figure 7       # a single figure
+//	pearlbench -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "paper-scale runs (16 pairs, 60k cycles)")
+		check  = flag.Bool("check", false, "run the machine-verifiable paper-claim shape checks")
+		figure = flag.String("figure", "all", "which artifact: all, t1, t2, t5, 4..11, nrmse, ab-step, ab-bounds, ab-thresholds, ab-window, ab-features, ab-label, extensions, thermal")
+		out    = flag.String("out", "", "also write results to this file")
+		md     = flag.Bool("md", false, "emit a single Markdown report (all artifacts + shape checks)")
+		seed   = flag.Uint64("seed", 2018, "experiment seed")
+	)
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	opts.Seed = *seed
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pearlbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *md {
+		if err := experiments.NewSuite(opts).WriteMarkdownReport(w); err != nil {
+			fmt.Fprintln(os.Stderr, "pearlbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *check {
+		report, err := experiments.NewSuite(opts).RunShapeChecks()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pearlbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(w, report)
+		if !report.AllPassed() {
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(w, opts, *figure); err != nil {
+		fmt.Fprintln(os.Stderr, "pearlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, opts experiments.Options, figure string) error {
+	suite := experiments.NewSuite(opts)
+	artifacts := []struct {
+		key string
+		fn  func() (experiments.Table, error)
+	}{
+		{"t1", func() (experiments.Table, error) { return experiments.TableI(), nil }},
+		{"t2", func() (experiments.Table, error) { return experiments.TableIIFig(), nil }},
+		{"t5", func() (experiments.Table, error) { return experiments.TableV(), nil }},
+		{"4", suite.Figure4},
+		{"5", suite.Figure5},
+		{"6", suite.Figure6},
+		{"7", suite.Figure7},
+		{"8", suite.Figure8},
+		{"9", suite.Figure9},
+		{"10", suite.Figure10},
+		{"11", suite.Figure11},
+		{"nrmse", suite.NRMSE},
+		{"ab-step", suite.AblationBandwidthStep},
+		{"ab-bounds", suite.AblationDBABounds},
+		{"ab-thresholds", suite.AblationThresholds},
+		{"ab-window", suite.AblationWindowSweep},
+		{"ab-features", suite.AblationFeatureSubset},
+		{"ab-label", suite.AblationLabelChoice},
+		{"extensions", suite.Extensions},
+		{"thermal", suite.ThermalStudy},
+	}
+	matched := false
+	for _, a := range artifacts {
+		if figure != "all" && figure != a.key {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		tbl, err := a.fn()
+		if err != nil {
+			return fmt.Errorf("artifact %s: %w", a.key, err)
+		}
+		fmt.Fprintln(w, tbl)
+		fmt.Fprintf(w, "(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown artifact %q", figure)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+// Command pearltrace records and replays packet-injection traces — the
+// capture layer standing in for the paper's Multi2Sim trace files.
+//
+// Record a workload's injection stream:
+//
+//	pearltrace record -cpu fmm -gpu DCT -cycles 30000 -out fmm_dct.trc
+//
+// Replay a trace into any network configuration (open loop: the recorded
+// injections are applied verbatim, isolating network effects from
+// workload feedback):
+//
+//	pearltrace replay -in fmm_dct.trc -config static-16
+//	pearltrace replay -in fmm_dct.trc -config cmesh
+//
+// Inspect a trace:
+//
+//	pearltrace info -in fmm_dct.trc
+//	pearltrace export -in fmm_dct.trc -out fmm_dct.json
+//
+// Fit synthetic benchmark profiles to a trace (the calibration path from
+// real traces to the statistical substrate):
+//
+//	pearltrace calibrate -in fmm_dct.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cmesh"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "export":
+		err = export(os.Args[2:])
+	case "calibrate":
+		err = calibrate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pearltrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pearltrace {record|replay|info|export|calibrate} [flags]")
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	cpu := fs.String("cpu", "fmm", "CPU benchmark")
+	gpu := fs.String("gpu", "DCT", "GPU benchmark")
+	cycles := fs.Int64("cycles", 30000, "cycles to record")
+	seed := fs.Uint64("seed", 2018, "workload seed")
+	out := fs.String("out", "trace.trc", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cpuP, err := traffic.ProfileByName(*cpu)
+	if err != nil {
+		return err
+	}
+	gpuP, err := traffic.ProfileByName(*gpu)
+	if err != nil {
+		return err
+	}
+
+	engine := sim.NewEngine()
+	net, err := core.New(engine, config.PEARLDyn())
+	if err != nil {
+		return err
+	}
+	rec := &trace.Recorder{}
+	target := rec.Wrap(net)
+	w, err := traffic.NewWorkload(engine, target, traffic.Pair{CPU: cpuP, GPU: gpuP}, *seed)
+	if err != nil {
+		return err
+	}
+	net.SetDeliveryHandler(w.OnDeliver)
+	engine.Register(w)
+	engine.Register(net)
+	engine.Run(*cycles)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteAll(f, rec.Records()); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d injections over %d cycles to %s\n", rec.Len(), *cycles, *out)
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "trace.trc", "input trace")
+	configName := fs.String("config", "pearl-dyn", "network configuration (photonic presets or cmesh)")
+	drain := fs.Int64("drain", 20000, "extra cycles to drain in-flight packets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	records, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("trace %s is empty", *in)
+	}
+
+	engine := sim.NewEngine()
+	var target interface {
+		Inject(p *noc.Packet) bool
+	}
+	var metricsOf func() string
+	var register func()
+	if strings.EqualFold(*configName, "cmesh") {
+		net, err := cmesh.New(engine, config.Default())
+		if err != nil {
+			return err
+		}
+		net.StartMeasurement()
+		target = net
+		register = func() { engine.Register(net) }
+		metricsOf = func() string {
+			net.StopMeasurement(engine.Cycle())
+			return net.Metrics().String()
+		}
+	} else {
+		cfg, err := photonicConfig(*configName)
+		if err != nil {
+			return err
+		}
+		net, err := core.New(engine, cfg)
+		if err != nil {
+			return err
+		}
+		net.StartMeasurement()
+		target = net
+		register = func() { engine.Register(net) }
+		metricsOf = func() string {
+			net.StopMeasurement(engine.Cycle())
+			return net.Metrics().String()
+		}
+	}
+
+	player, err := trace.NewPlayer(target, records)
+	if err != nil {
+		return err
+	}
+	engine.Register(player)
+	register()
+
+	last := records[len(records)-1].InjectCycle
+	engine.Run(last + 1)
+	engine.RunUntil(player.Done, *drain)
+	engine.Run(*drain)
+
+	fmt.Printf("replayed %d of %d packets into %s\n", player.Injected, len(records), *configName)
+	fmt.Println(metricsOf())
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "trace.trc", "input trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	records, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	var cpu, gpu, requests, bits int
+	for _, r := range records {
+		if r.Class == noc.ClassCPU {
+			cpu++
+		} else {
+			gpu++
+		}
+		if r.Kind == noc.KindRequest {
+			requests++
+		}
+		bits += int(r.SizeBits)
+	}
+	span := int64(0)
+	if len(records) > 0 {
+		span = records[len(records)-1].InjectCycle - records[0].InjectCycle
+	}
+	fmt.Printf("records:   %d (%d CPU / %d GPU, %d requests)\n", len(records), cpu, gpu, requests)
+	fmt.Printf("span:      %d cycles\n", span)
+	fmt.Printf("payload:   %d bits (%.1f bits/cycle offered)\n", bits, float64(bits)/float64(span+1))
+	return nil
+}
+
+func export(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "trace.trc", "input trace")
+	out := fs.String("out", "trace.json", "output JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	records, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteJSON(f, records); err != nil {
+		return err
+	}
+	fmt.Printf("exported %d records to %s\n", len(records), *out)
+	return nil
+}
+
+func calibrate(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	in := fs.String("in", "trace.trc", "input trace")
+	window := fs.Int64("window", 500, "rate-aggregation window (cycles)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	records, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	events := make([]traffic.InjectionEvent, len(records))
+	for i, r := range records {
+		events[i] = traffic.InjectionEvent{
+			Cycle: r.InjectCycle, Class: r.Class, Kind: r.Kind, Dst: int(r.Dst),
+		}
+	}
+	for _, class := range []noc.Class{noc.ClassCPU, noc.ClassGPU} {
+		p, err := traffic.EstimateProfile(
+			fmt.Sprintf("%s-fit", class), class, events,
+			config.NumClusterRouters, *window, config.L3RouterID)
+		if err != nil {
+			fmt.Printf("%s: %v\n", class, err)
+			continue
+		}
+		fmt.Printf("%s profile fit:\n", class)
+		fmt.Printf("  base rate     %.4f pkt/cycle/router\n", p.BaseRate)
+		fmt.Printf("  burst rate    %.4f pkt/cycle/router\n", p.BurstRate)
+		fmt.Printf("  burst entry   %.5f /cycle (mean gap %.0f cycles)\n", p.BurstEntry, 1/p.BurstEntry)
+		fmt.Printf("  burst exit    %.5f /cycle (mean burst %.0f cycles)\n", p.BurstExit, 1/p.BurstExit)
+		fmt.Printf("  duty cycle    %.1f%%\n", 100*p.BurstEntry/(p.BurstEntry+p.BurstExit))
+		fmt.Printf("  L3 fraction   %.2f   write fraction %.2f\n", p.L3Fraction, p.WriteFraction)
+	}
+	return nil
+}
+
+func readTrace(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadAll(f)
+}
+
+func photonicConfig(name string) (config.Config, error) {
+	switch strings.ToLower(name) {
+	case "pearl-dyn":
+		return config.PEARLDyn(), nil
+	case "pearl-fcfs":
+		return config.PEARLFCFS(), nil
+	case "static-48":
+		return config.StaticWL(48), nil
+	case "static-32":
+		return config.StaticWL(32), nil
+	case "static-16":
+		return config.StaticWL(16), nil
+	case "static-8":
+		return config.StaticWL(8), nil
+	case "dyn-rw500":
+		return config.DynRW(500), nil
+	case "dyn-rw2000":
+		return config.DynRW(2000), nil
+	default:
+		return config.Config{}, fmt.Errorf("unknown configuration %q", name)
+	}
+}

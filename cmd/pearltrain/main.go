@@ -1,0 +1,74 @@
+// Command pearltrain runs the paper's §IV.A machine-learning pipeline for
+// one reservation window: two-pass data collection (random states, then
+// model-driven states), λ tuning on the validation pairs, final fit, and
+// evaluation on the test pairs (the §IV.C NRMSE numbers).
+//
+// Usage:
+//
+//	pearltrain -window 500 -out model-rw500.json
+//	pearltrain -window 2000 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		window = flag.Int("window", 500, "reservation window in cycles")
+		out    = flag.String("out", "", "write the trained model JSON here")
+		quick  = flag.Bool("quick", false, "reduced data collection for smoke runs")
+		seed   = flag.Uint64("seed", 2018, "experiment seed")
+	)
+	flag.Parse()
+
+	if err := run(*window, *out, *quick, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pearltrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(window int, out string, quick bool, seed uint64) error {
+	opts := experiments.Full()
+	if quick {
+		opts = experiments.Quick()
+	}
+	opts.Seed = seed
+
+	fmt.Printf("training ridge model for RW%d (%d train pairs, %d validation pairs)\n",
+		window, len(opts.TrainPairs), len(opts.ValPairs))
+	start := time.Now()
+	model, err := experiments.Train(window, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %v: lambda=%g validation NRMSE score=%.3f\n",
+		time.Since(start), model.Lambda, model.ValScore)
+
+	ev, err := experiments.Evaluate(model, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("test pairs (%d examples):\n", ev.Examples)
+	fmt.Printf("  NRMSE score:        %.3f (paper: 0.68 at RW500, 0.05 at RW2000)\n", ev.TestScore)
+	fmt.Printf("  top-state accuracy: %.1f%% (paper: 99.9%% at RW2000)\n", 100*ev.TopStateAccuracy)
+	fmt.Printf("  exact-state agree:  %.1f%%\n", 100*ev.StateAccuracy)
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("model written to %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Adaptive power scaling: the repository's two future-work extensions in
+// action — an online recursive-least-squares predictor that learns during
+// execution (no offline training pass at all) and a tabular Q-learning
+// agent that discovers the power/congestion trade-off by itself. Both are
+// compared against the paper's reactive technique and the static
+// baseline on the same workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pearl "repro"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/rl"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func main() {
+	pair := pearl.Pair{CPU: mustBench("fluidanimate"), GPU: mustBench("FastWalsh")}
+	const warmup, measure = 2000, 40000
+
+	type contender struct {
+		name   string
+		policy core.StatePolicy // nil = keep the configuration's own policy
+		cfg    config.Config
+	}
+	online, err := core.NewOnlinePolicy(0.995, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent, err := rl.NewAgent(rl.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	contenders := []contender{
+		{"static 64WL", nil, config.PEARLDyn()},
+		{"reactive RW500", nil, config.DynRW(500)},
+		{"online RLS RW500", online, config.MLRW(500, true)},
+		{"Q-learning RW500", agent, config.MLRW(500, true)},
+	}
+
+	fmt.Printf("adaptive power scaling on %s (%d cycles)\n\n", pair.Name(), measure)
+	fmt.Printf("%-20s %12s %12s %10s\n", "policy", "throughput", "laser (W)", "savings")
+
+	var basePow float64
+	for i, c := range contenders {
+		engine := sim.NewEngine()
+		net, err := core.New(engine, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c.policy != nil {
+			net.SetStatePolicy(c.policy)
+		}
+		acct := power.NewAccount(config.NetworkFrequencyHz)
+		net.SetAccount(acct)
+		w, err := traffic.NewWorkload(engine, net, pair, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net.SetDeliveryHandler(w.OnDeliver)
+		engine.Register(w)
+		engine.Register(net)
+		engine.Run(warmup)
+		net.StartMeasurement()
+		w.StartMeasurement()
+		engine.Run(measure)
+		net.StopMeasurement(measure)
+
+		pow := acct.AverageLaserPowerW()
+		if i == 0 {
+			basePow = pow
+		}
+		fmt.Printf("%-20s %12.1f %12.3f %9.1f%%\n",
+			c.name, net.Metrics().ThroughputBitsPerCycle(), pow, 100*(basePow-pow)/basePow)
+	}
+
+	fmt.Printf("\nonline RLS applied %d weight updates; Q-learning made %d decisions (%.0f%% greedy, final epsilon %.3f)\n",
+		online.Updates, agent.Decisions,
+		100*float64(agent.GreedyDecisions)/float64(agent.Decisions), agent.Epsilon())
+	fmt.Println("Neither adaptive policy needed the paper's offline two-pass training.")
+}
+
+func mustBench(name string) pearl.Profile {
+	p, err := pearl.BenchmarkByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,55 @@
+// Quickstart: build the PEARL photonic crossbar, drive it with one
+// heterogeneous benchmark pair, and print throughput, latency and power —
+// the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pearl "repro"
+)
+
+func main() {
+	// The paper's photonic baseline: dynamic bandwidth allocation at a
+	// constant 64 wavelengths.
+	cfg := pearl.PEARLDyn()
+
+	// One of the 16 Table IV test pairs: the fmm CPU benchmark running
+	// simultaneously with the DCT GPU benchmark.
+	pair := pearl.Pair{CPU: mustBench("fmm"), GPU: mustBench("DCT")}
+
+	opts := pearl.QuickOptions()
+	res, err := pearl.Run(cfg, pair, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("PEARL quickstart — %s on %s\n\n", res.Name, pair.Name())
+	fmt.Printf("throughput       %8.1f bits/cycle\n", m.ThroughputBitsPerCycle())
+	fmt.Printf("delivered        %8d packets (%.0f%% CPU / %.0f%% GPU)\n",
+		m.Delivered.TotalPackets(), 100*m.Delivered.Share(0), 100*m.Delivered.Share(1))
+	fmt.Printf("mean latency     %8.1f cycles\n", m.Latency.Mean())
+	fmt.Printf("p99 latency      %8.0f cycles\n", m.Latency.Percentile(99))
+	fmt.Printf("laser power      %8.3f W (network total, Table V states)\n",
+		res.Account.AverageLaserPowerW())
+	fmt.Printf("energy per bit   %8.3f pJ\n", res.Account.EnergyPerBitJ()*1e12)
+
+	// Compare against the electrical CMESH baseline on the same pair.
+	cmesh, err := pearl.RunCMESH(pair, opts, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gain := 100 * (m.ThroughputBitsPerCycle() - cmesh.Metrics.ThroughputBitsPerCycle()) /
+		cmesh.Metrics.ThroughputBitsPerCycle()
+	fmt.Printf("\nvs CMESH         %+7.1f%% throughput (paper: +34%%)\n", gain)
+}
+
+func mustBench(name string) pearl.Profile {
+	p, err := pearl.BenchmarkByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

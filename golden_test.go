@@ -1,0 +1,67 @@
+package pearl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/traffic"
+)
+
+// Golden regression values for the frozen calibration (seed 2018,
+// fluidanimate+DCT, 1000 warmup + 10000 measured cycles). The whole stack
+// is deterministic, so these must match bit-for-bit run over run; any
+// intentional change to the traffic model, router microarchitecture or
+// power accounting must update them consciously.
+func goldenOptions() experiments.Options {
+	opts := experiments.Quick()
+	opts.MeasureCycles = 10000
+	opts.WarmupCycles = 1000
+	return opts
+}
+
+func TestGoldenPEARLDyn(t *testing.T) {
+	res, err := experiments.RunPEARL(config.PEARLDyn(), traffic.TestPairs()[0], goldenOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.Delivered.TotalBits(); got != 8566400 {
+		t.Errorf("delivered bits = %d, golden 8566400", got)
+	}
+	if got := res.Account.AverageLaserPowerW(); math.Abs(got-1.16) > 1e-9 {
+		t.Errorf("laser = %v, golden 1.16", got)
+	}
+	if got := res.Metrics.Latency.Mean(); math.Abs(got-86.6041527471) > 1e-9 {
+		t.Errorf("latency = %.10f, golden 86.6041527471", got)
+	}
+}
+
+func TestGoldenDynRW500(t *testing.T) {
+	res, err := experiments.RunPEARL(config.DynRW(500), traffic.TestPairs()[0], goldenOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.Delivered.TotalBits(); got != 9158528 {
+		t.Errorf("delivered bits = %d, golden 9158528", got)
+	}
+	if got := res.Account.AverageLaserPowerW(); math.Abs(got-0.7942302674) > 1e-9 {
+		t.Errorf("laser = %.10f, golden 0.7942302674", got)
+	}
+	if got := res.Metrics.Latency.Mean(); math.Abs(got-215.9726978920) > 1e-9 {
+		t.Errorf("latency = %.10f, golden 215.9726978920", got)
+	}
+}
+
+func TestGoldenCMESH(t *testing.T) {
+	res, err := experiments.RunCMESH(config.Default(), traffic.TestPairs()[0], goldenOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.Delivered.TotalBits(); got != 6562944 {
+		t.Errorf("delivered bits = %d, golden 6562944", got)
+	}
+	if got := res.Metrics.Latency.Mean(); math.Abs(got-279.2912551508) > 1e-9 {
+		t.Errorf("latency = %.10f, golden 279.2912551508", got)
+	}
+}

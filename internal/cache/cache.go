@@ -1,0 +1,242 @@
+// Package cache implements the memory-side substrate of the PEARL chip: a
+// set-associative cache model with LRU replacement and the NMOESI cache
+// coherence protocol the paper adopts from Multi2Sim (§III.A.2). NMOESI
+// extends MOESI with an N (non-coherent) state used by GPU compute units,
+// whose stores do not eagerly invalidate remote copies; merging happens at
+// eviction.
+//
+// The package provides three layers:
+//
+//   - Cache: a set-associative array with per-line NMOESI state,
+//   - Directory: the L3-side sharer/owner tracking,
+//   - System: a whole-chip assembly (per-cluster L1s and L2s, a shared
+//     banked L3 with directory) whose Access method applies one memory
+//     operation and returns the coherence messages it generated — the
+//     messages a NoC transports as request/response packets.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// State is an NMOESI coherence state.
+type State int
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// Shared: clean, possibly multiple copies.
+	Shared
+	// Exclusive: clean, only copy.
+	Exclusive
+	// Owned: dirty, responsible for write-back, other Shared copies may
+	// exist.
+	Owned
+	// Modified: dirty, only copy.
+	Modified
+	// NonCoherent: GPU store without ownership; merged at eviction
+	// (Multi2Sim's N state).
+	NonCoherent
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	case NonCoherent:
+		return "N"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Dirty reports whether a line in this state must be written back on
+// eviction.
+func (s State) Dirty() bool {
+	return s == Modified || s == Owned || s == NonCoherent
+}
+
+// Readable reports whether a load hits in this state.
+func (s State) Readable() bool { return s != Invalid }
+
+// Writable reports whether a coherent store completes without a bus
+// transaction.
+func (s State) Writable() bool { return s == Modified || s == Exclusive }
+
+// Line is one cache line's bookkeeping.
+type Line struct {
+	Tag   uint64
+	State State
+	// lru is the last-touch stamp.
+	lru uint64
+}
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineSize uint64
+	lines    [][]Line
+	clock    uint64
+
+	// Stats.
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// NewCache builds a cache of the given total size. sizeBytes must be
+// divisible by ways*lineSize and the set count must be a power of two.
+func NewCache(name string, sizeBytes, ways int, lineSize uint64) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineSize == 0 {
+		return nil, fmt.Errorf("cache: bad geometry for %s", name)
+	}
+	sets := sizeBytes / (ways * int(lineSize))
+	if sets == 0 || sets*ways*int(lineSize) != sizeBytes {
+		return nil, fmt.Errorf("cache: %s size %d not divisible by %d ways x %d line",
+			name, sizeBytes, ways, lineSize)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: %s set count %d not a power of two", name, sets)
+	}
+	c := &Cache{name: name, sets: sets, ways: ways, lineSize: lineSize}
+	c.lines = make([][]Line, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]Line, ways)
+	}
+	return c, nil
+}
+
+// MustCache builds a cache or panics; for the fixed Table I geometries.
+func MustCache(name string, sizeBytes, ways int, lineSize uint64) *Cache {
+	c, err := NewCache(name, sizeBytes, ways, lineSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the set count.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	block := addr / c.lineSize
+	return int(block % uint64(c.sets)), block / uint64(c.sets)
+}
+
+// Lookup returns the line holding addr, or nil. It does not touch LRU.
+func (c *Cache) Lookup(addr uint64) *Line {
+	set, tag := c.index(addr)
+	for i := range c.lines[set] {
+		l := &c.lines[set][i]
+		if l.State != Invalid && l.Tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// Touch marks the line holding addr most-recently-used and returns it
+// (counting a hit), or returns nil (counting a miss).
+func (c *Cache) Touch(addr uint64) *Line {
+	l := c.Lookup(addr)
+	if l == nil {
+		c.Misses++
+		return nil
+	}
+	c.clock++
+	l.lru = c.clock
+	c.Hits++
+	return l
+}
+
+// Victim describes a line evicted to make room.
+type Victim struct {
+	Addr  uint64
+	State State
+}
+
+// Insert places addr in the cache with the given state, returning the
+// evicted victim if a valid line was displaced. The victim's write-back
+// obligation is the caller's (protocol's) responsibility.
+func (c *Cache) Insert(addr uint64, state State) (Line, *Victim) {
+	set, tag := c.index(addr)
+	c.clock++
+	// Prefer an invalid way.
+	victimIdx := 0
+	oldest := ^uint64(0)
+	for i := range c.lines[set] {
+		l := &c.lines[set][i]
+		if l.State == Invalid {
+			victimIdx = i
+			oldest = 0
+			break
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			victimIdx = i
+		}
+	}
+	var victim *Victim
+	v := &c.lines[set][victimIdx]
+	if v.State != Invalid {
+		c.Evictions++
+		if v.State.Dirty() {
+			c.Writebacks++
+		}
+		victim = &Victim{Addr: c.lineAddr(set, v.Tag), State: v.State}
+	}
+	*v = Line{Tag: tag, State: state, lru: c.clock}
+	return *v, victim
+}
+
+// Invalidate removes addr if present, returning its prior state.
+func (c *Cache) Invalidate(addr uint64) State {
+	l := c.Lookup(addr)
+	if l == nil {
+		return Invalid
+	}
+	prior := l.State
+	l.State = Invalid
+	return prior
+}
+
+// SetState updates the state of a resident line; it panics if absent.
+func (c *Cache) SetState(addr uint64, s State) {
+	l := c.Lookup(addr)
+	if l == nil {
+		panic(fmt.Sprintf("cache: %s SetState on absent line %#x", c.name, addr))
+	}
+	l.State = s
+}
+
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	return (tag*uint64(c.sets) + uint64(set)) * c.lineSize
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() uint64 { return c.lineSize }
+
+// HitRate returns hits / (hits + misses), or 0 when unused.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// DefaultLineSize is the Table I 64-byte cache line.
+const DefaultLineSize = config.CacheLineBytes

@@ -1,0 +1,468 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func TestStateProperties(t *testing.T) {
+	for _, s := range []State{Modified, Owned, NonCoherent} {
+		if !s.Dirty() {
+			t.Errorf("%v should be dirty", s)
+		}
+	}
+	for _, s := range []State{Invalid, Shared, Exclusive} {
+		if s.Dirty() {
+			t.Errorf("%v should be clean", s)
+		}
+	}
+	if Invalid.Readable() {
+		t.Error("Invalid readable")
+	}
+	for _, s := range []State{Shared, Exclusive, Owned, Modified, NonCoherent} {
+		if !s.Readable() {
+			t.Errorf("%v should be readable", s)
+		}
+	}
+	if !Modified.Writable() || !Exclusive.Writable() {
+		t.Error("M/E should be writable")
+	}
+	if Shared.Writable() || Owned.Writable() {
+		t.Error("S/O should not be silently writable")
+	}
+	if Modified.String() != "M" || NonCoherent.String() != "N" || Invalid.String() != "I" {
+		t.Error("state names wrong")
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := MustCache("t", 64<<10, 4, 64)
+	if c.Sets() != 256 || c.Ways() != 4 {
+		t.Fatalf("geometry %d sets x %d ways", c.Sets(), c.Ways())
+	}
+	if _, err := NewCache("bad", 1000, 4, 64); err == nil {
+		t.Fatal("expected error for non-divisible size")
+	}
+	if _, err := NewCache("bad", 3*64*4, 4, 64); err == nil {
+		t.Fatal("expected error for non-power-of-two sets")
+	}
+	if _, err := NewCache("bad", 0, 4, 64); err == nil {
+		t.Fatal("expected error for zero size")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := MustCache("t", 4096, 4, 64)
+	if c.Touch(0x1000) != nil {
+		t.Fatal("cold cache should miss")
+	}
+	c.Insert(0x1000, Shared)
+	if c.Touch(0x1000) == nil {
+		t.Fatal("inserted line should hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", c.HitRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, line 64, sets = 2: addresses mapping to set 0 are multiples
+	// of 128.
+	c := MustCache("t", 2*2*64, 2, 64)
+	c.Insert(0, Shared)           // set 0
+	c.Insert(256, Shared)         // set 0 (block 4)
+	c.Touch(0)                    // make 0 MRU
+	_, v := c.Insert(512, Shared) // set 0, must evict 256
+	if v == nil || v.Addr != 256 {
+		t.Fatalf("victim %+v, want addr 256", v)
+	}
+	if c.Lookup(0) == nil || c.Lookup(512) == nil || c.Lookup(256) != nil {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestCacheVictimDirtyAccounting(t *testing.T) {
+	c := MustCache("t", 2*64, 1, 64) // direct-mapped, 2 sets
+	c.Insert(0, Modified)
+	_, v := c.Insert(128, Shared) // same set 0
+	if v == nil || v.State != Modified {
+		t.Fatalf("victim %+v", v)
+	}
+	if c.Writebacks != 1 || c.Evictions != 1 {
+		t.Fatalf("writebacks=%d evictions=%d", c.Writebacks, c.Evictions)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := MustCache("t", 4096, 4, 64)
+	c.Insert(0x40, Exclusive)
+	if got := c.Invalidate(0x40); got != Exclusive {
+		t.Fatalf("invalidate returned %v", got)
+	}
+	if c.Lookup(0x40) != nil {
+		t.Fatal("line still present")
+	}
+	if got := c.Invalidate(0x40); got != Invalid {
+		t.Fatalf("double invalidate returned %v", got)
+	}
+}
+
+func TestSetStatePanicsOnAbsent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCache("t", 4096, 4, 64).SetState(0, Modified)
+}
+
+func TestLineAddressRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		c := MustCache("t", 64<<10, 8, 64)
+		addr := uint64(raw) &^ 63
+		c.Insert(addr, Shared)
+		return c.Lookup(addr) != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgBitsAndKinds(t *testing.T) {
+	data := Msg{Kind: MsgData}
+	if data.Bits() != noc.ResponseBits {
+		t.Error("data message should carry a line")
+	}
+	gets := Msg{Kind: MsgGetS}
+	if gets.Bits() != noc.RequestBits {
+		t.Error("GetS should be header-only")
+	}
+	if !MsgGetX.IsRequest() || MsgData.IsRequest() || MsgWBAck.IsRequest() {
+		t.Error("request classification wrong")
+	}
+	if MsgFwdGetS.String() != "FwdGetS" || MsgWriteBack.String() != "WriteBack" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestDirectoryBasics(t *testing.T) {
+	d := NewDirectory()
+	d.addSharer(0x1000, 3)
+	d.addSharer(0x1000, 7)
+	sh := d.Sharers(0x1000)
+	if len(sh) != 2 || sh[0] != 3 || sh[1] != 7 {
+		t.Fatalf("sharers %v", sh)
+	}
+	d.setOwner(0x1000, 5)
+	if d.Owner(0x1000) != 5 {
+		t.Fatal("owner not set")
+	}
+	if got := d.Sharers(0x1000); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("setOwner should clear other sharers, got %v", got)
+	}
+	d.removeSharer(0x1000, 5)
+	if d.Len() != 0 {
+		t.Fatal("empty entry not garbage-collected")
+	}
+}
+
+// --- Protocol-level tests on the full System ---
+
+func TestColdLoadGetsExclusive(t *testing.T) {
+	s := NewSystem()
+	msgs, err := s.Access(0, noc.ClassCPU, 0, OpLoad, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GetS to L3, Data back.
+	if len(msgs) != 2 || msgs[0].Kind != MsgGetS || msgs[1].Kind != MsgData {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	if msgs[0].Dst != config.L3RouterID || msgs[1].Src != config.L3RouterID {
+		t.Fatal("messages not routed via L3")
+	}
+	if s.MemFetches != 1 {
+		t.Fatalf("mem fetches = %d", s.MemFetches)
+	}
+	if s.dir.Owner(0x4000) != 0 {
+		t.Fatal("first reader should own the line (E)")
+	}
+}
+
+func TestSecondLoadHitsLocally(t *testing.T) {
+	s := NewSystem()
+	s.Access(0, noc.ClassCPU, 0, OpLoad, 0x4000)
+	msgs, _ := s.Access(0, noc.ClassCPU, 0, OpLoad, 0x4000)
+	if len(msgs) != 0 {
+		t.Fatalf("repeat load generated traffic: %v", msgs)
+	}
+}
+
+func TestCrossClusterSharing(t *testing.T) {
+	s := NewSystem()
+	s.Access(0, noc.ClassCPU, 0, OpLoad, 0x4000)
+	msgs, _ := s.Access(1, noc.ClassCPU, 0, OpLoad, 0x4000)
+	// Owner (cluster 0, E) supplies via FwdGetS.
+	kinds := kindsOf(msgs)
+	if !contains(kinds, MsgFwdGetS) {
+		t.Fatalf("expected forward from clean owner, got %v", kinds)
+	}
+	sh := s.dir.Sharers(0x4000)
+	if len(sh) != 2 {
+		t.Fatalf("sharers = %v", sh)
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	s := NewSystem()
+	s.Access(0, noc.ClassCPU, 0, OpLoad, 0x4000)
+	s.Access(1, noc.ClassCPU, 0, OpLoad, 0x4000)
+	s.Access(2, noc.ClassCPU, 0, OpLoad, 0x4000)
+	msgs, _ := s.Access(0, noc.ClassCPU, 0, OpStore, 0x4000)
+	kinds := kindsOf(msgs)
+	inv := count(kinds, MsgInvalidate)
+	ack := count(kinds, MsgInvAck)
+	if inv != 2 || ack != 2 {
+		t.Fatalf("expected 2 invalidations + acks, got %v", kinds)
+	}
+	if s.dir.Owner(0x4000) != 0 {
+		t.Fatal("writer should own the line")
+	}
+	// Other clusters must have dropped their copies.
+	if s.stateInCluster(s.clusters[1], 0x4000) != Invalid {
+		t.Fatal("cluster 1 still holds the line")
+	}
+	// The writer's copy is Modified.
+	if s.stateInCluster(s.clusters[0], 0x4000) != Modified {
+		t.Fatalf("writer state %v", s.stateInCluster(s.clusters[0], 0x4000))
+	}
+}
+
+func TestSilentEToMUpgrade(t *testing.T) {
+	s := NewSystem()
+	s.Access(0, noc.ClassCPU, 0, OpLoad, 0x4000) // E
+	msgs, _ := s.Access(0, noc.ClassCPU, 0, OpStore, 0x4000)
+	if len(msgs) != 0 {
+		t.Fatalf("E->M should be silent, got %v", msgs)
+	}
+	if s.stateInCluster(s.clusters[0], 0x4000) != Modified {
+		t.Fatal("state not Modified")
+	}
+}
+
+func TestDirtyOwnerForwardsAndBecomesOwned(t *testing.T) {
+	s := NewSystem()
+	s.Access(0, noc.ClassCPU, 0, OpStore, 0x4000) // M in cluster 0
+	msgs, _ := s.Access(1, noc.ClassCPU, 0, OpLoad, 0x4000)
+	kinds := kindsOf(msgs)
+	if !contains(kinds, MsgFwdGetS) || !contains(kinds, MsgData) {
+		t.Fatalf("expected forwarded data, got %v", kinds)
+	}
+	if s.stateInCluster(s.clusters[0], 0x4000) != Owned {
+		t.Fatalf("dirty owner should downgrade to O, got %v",
+			s.stateInCluster(s.clusters[0], 0x4000))
+	}
+}
+
+func TestNCStoreDoesNotInvalidate(t *testing.T) {
+	s := NewSystem()
+	s.Access(0, noc.ClassCPU, 0, OpLoad, 0x4000)
+	s.Access(1, noc.ClassCPU, 0, OpLoad, 0x4000)
+	msgs, err := s.Access(2, noc.ClassGPU, 0, OpNCStore, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := kindsOf(msgs)
+	if contains(kinds, MsgInvalidate) {
+		t.Fatalf("non-coherent store must not invalidate, got %v", kinds)
+	}
+	// CPU copies survive.
+	if s.stateInCluster(s.clusters[0], 0x4000) == Invalid {
+		t.Fatal("cluster 0 lost its copy")
+	}
+	// GPU holds N.
+	if s.stateInCluster(s.clusters[2], 0x4000) != NonCoherent {
+		t.Fatalf("GPU state %v, want N", s.stateInCluster(s.clusters[2], 0x4000))
+	}
+}
+
+func TestNCStoreOnCPURejected(t *testing.T) {
+	s := NewSystem()
+	if _, err := s.Access(0, noc.ClassCPU, 0, OpNCStore, 0x4000); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAccessValidation(t *testing.T) {
+	s := NewSystem()
+	if _, err := s.Access(-1, noc.ClassCPU, 0, OpLoad, 0); err == nil {
+		t.Fatal("bad cluster accepted")
+	}
+	if _, err := s.Access(0, noc.ClassCPU, 5, OpLoad, 0); err == nil {
+		t.Fatal("bad CPU core accepted")
+	}
+	if _, err := s.Access(0, noc.ClassGPU, 9, OpLoad, 0); err == nil {
+		t.Fatal("bad GPU CU accepted")
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	s := NewSystem()
+	// Dirty a line, then stream enough conflicting lines through cluster
+	// 0's CPU L2 (256kB, 8-way, 64B lines -> 512 sets) to evict it.
+	s.Access(0, noc.ClassCPU, 0, OpStore, 0)
+	sawWB := false
+	setStride := uint64(512 * 64) // same set every stride
+	for i := 1; i <= 9; i++ {
+		msgs, _ := s.Access(0, noc.ClassCPU, 0, OpLoad, uint64(i)*setStride)
+		if contains(kindsOf(msgs), MsgWriteBack) {
+			sawWB = true
+		}
+	}
+	if !sawWB {
+		t.Fatal("dirty eviction never generated a write-back")
+	}
+}
+
+func TestIFetchUsesL1I(t *testing.T) {
+	s := NewSystem()
+	s.Access(0, noc.ClassCPU, 0, OpIFetch, 0x8000)
+	if s.CPUL1D(0, 0).Lookup(0x8000) != nil {
+		t.Fatal("ifetch polluted the data cache")
+	}
+	if s.clusters[0].cpuL1I[0].Lookup(0x8000) == nil {
+		t.Fatal("ifetch missed the instruction cache")
+	}
+}
+
+func TestCoherenceInvariantProperty(t *testing.T) {
+	// After any access sequence: at most one cluster holds M or E, and
+	// the directory's owner matches.
+	rng := sim.NewRNG(99)
+	s := NewSystem()
+	addrs := []uint64{0, 64, 128, 4096, 1 << 20}
+	for step := 0; step < 3000; step++ {
+		k := rng.Intn(config.NumClusterRouters)
+		addr := addrs[rng.Intn(len(addrs))]
+		var err error
+		if rng.Bernoulli(0.5) {
+			op := OpLoad
+			if rng.Bernoulli(0.4) {
+				op = OpStore
+			}
+			_, err = s.Access(k, noc.ClassCPU, rng.Intn(2), op, addr)
+		} else {
+			op := OpLoad
+			if rng.Bernoulli(0.4) {
+				op = OpNCStore
+			}
+			_, err = s.Access(k, noc.ClassGPU, rng.Intn(4), op, addr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, addr := range addrs {
+			exclusiveHolders := 0
+			for c := 0; c < config.NumClusterRouters; c++ {
+				st := s.stateInCluster(s.clusters[c], addr)
+				if st == Modified || st == Exclusive {
+					exclusiveHolders++
+				}
+			}
+			if exclusiveHolders > 1 {
+				t.Fatalf("step %d: %d exclusive holders of %#x", step, exclusiveHolders, addr)
+			}
+		}
+	}
+}
+
+func TestDriverGeneratesCoherenceTraffic(t *testing.T) {
+	sink := &sinkInjector{}
+	d := NewDriver(sink, 7)
+	for cycle := int64(0); cycle < 2000; cycle++ {
+		d.Tick(cycle)
+	}
+	if d.Accesses != 4000 {
+		t.Fatalf("accesses = %d", d.Accesses)
+	}
+	if d.Messages == 0 || d.InjectedPackets == 0 {
+		t.Fatal("no coherence traffic generated")
+	}
+	// Both requests and data must flow.
+	var req, resp int
+	for _, p := range sink.pkts {
+		if p.Kind == noc.KindRequest {
+			req++
+		} else {
+			resp++
+		}
+	}
+	if req == 0 || resp == 0 {
+		t.Fatalf("req=%d resp=%d", req, resp)
+	}
+	// Hit rates should be sane after warmup.
+	if hr := d.System().L3().HitRate(); hr <= 0 || hr > 1 {
+		t.Fatalf("L3 hit rate %v", hr)
+	}
+}
+
+func TestDriverBackpressure(t *testing.T) {
+	sink := &sinkInjector{reject: true}
+	d := NewDriver(sink, 7)
+	for cycle := int64(0); cycle < 100; cycle++ {
+		d.Tick(cycle)
+	}
+	if d.InjectedPackets != 0 {
+		t.Fatal("rejecting sink accepted packets")
+	}
+	if d.QueuedPackets() == 0 {
+		t.Fatal("queue should grow under backpressure")
+	}
+}
+
+type sinkInjector struct {
+	pkts   []*noc.Packet
+	reject bool
+}
+
+func (s *sinkInjector) Inject(p *noc.Packet) bool {
+	if s.reject {
+		return false
+	}
+	s.pkts = append(s.pkts, p)
+	return true
+}
+
+func kindsOf(msgs []Msg) []MsgKind {
+	out := make([]MsgKind, len(msgs))
+	for i, m := range msgs {
+		out[i] = m.Kind
+	}
+	return out
+}
+
+func contains(kinds []MsgKind, k MsgKind) bool {
+	for _, x := range kinds {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+func count(kinds []MsgKind, k MsgKind) int {
+	n := 0
+	for _, x := range kinds {
+		if x == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package cache
+
+import (
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Injector is the network a Driver feeds (both the photonic crossbar and
+// the CMESH satisfy it).
+type Injector interface {
+	Inject(p *noc.Packet) bool
+}
+
+// Driver replays a synthetic memory-access stream through the full NMOESI
+// hierarchy and injects the resulting coherence messages into a network
+// as packets — the cache-driven alternative to the statistical traffic
+// generators, used by the coherence example and integration tests.
+type Driver struct {
+	sys    *System
+	rng    *sim.RNG
+	target Injector
+
+	// AccessesPerCycle is the total memory operations issued chip-wide
+	// each cycle.
+	AccessesPerCycle int
+	// SharedFraction of accesses hit a chip-wide shared region,
+	// exercising cross-cluster coherence; the rest are cluster-private.
+	SharedFraction float64
+	// StoreFraction of accesses are writes.
+	StoreFraction float64
+
+	nextID uint64
+	queue  []*noc.Packet
+
+	// Stats.
+	Accesses, Messages, InjectedPackets uint64
+}
+
+// NewDriver wires a fresh cache system to the target network.
+func NewDriver(target Injector, seed uint64) *Driver {
+	return &Driver{
+		sys:              NewSystem(),
+		rng:              sim.NewRNG(seed),
+		target:           target,
+		AccessesPerCycle: 2,
+		SharedFraction:   0.3,
+		StoreFraction:    0.3,
+	}
+}
+
+// System exposes the underlying hierarchy.
+func (d *Driver) System() *System { return d.sys }
+
+// Tick issues this cycle's accesses and drains the packet queue into the
+// network.
+func (d *Driver) Tick(cycle int64) {
+	for i := 0; i < d.AccessesPerCycle; i++ {
+		d.issue(cycle)
+	}
+	d.drain()
+}
+
+func (d *Driver) issue(cycle int64) {
+	k := d.rng.Intn(config.NumClusterRouters)
+	class := noc.ClassCPU
+	coreMax := config.CPUCoresPerCluster
+	if d.rng.Bernoulli(2.0 / 3.0) { // GPUs issue 2/3 of traffic (4 CUs vs 2 cores)
+		class = noc.ClassGPU
+		coreMax = config.GPUCUsPerCluster
+	}
+	core := d.rng.Intn(coreMax)
+
+	var addr uint64
+	if d.rng.Bernoulli(d.SharedFraction) {
+		// Chip-wide shared region: 4096 hot lines.
+		addr = uint64(d.rng.Intn(4096)) * DefaultLineSize
+	} else {
+		// Cluster-private region (64kB working set, L2-resident).
+		base := uint64(1<<30) + uint64(k)<<20
+		addr = base + uint64(d.rng.Intn(1024))*DefaultLineSize
+	}
+
+	op := OpLoad
+	if d.rng.Bernoulli(d.StoreFraction) {
+		if class == noc.ClassGPU {
+			op = OpNCStore
+		} else {
+			op = OpStore
+		}
+	}
+	msgs, err := d.sys.Access(k, class, core, op, addr)
+	if err != nil {
+		panic(err) // driver only issues legal accesses
+	}
+	d.Accesses++
+	d.Messages += uint64(len(msgs))
+	for _, m := range msgs {
+		d.queue = append(d.queue, d.packetFor(m, cycle))
+	}
+}
+
+// packetFor converts a coherence message to a network packet.
+func (d *Driver) packetFor(m Msg, cycle int64) *noc.Packet {
+	d.nextID++
+	src := sourceFor(m)
+	var p *noc.Packet
+	if m.Kind.IsRequest() {
+		p = noc.NewRequest(d.nextID, m.Src, m.Dst, m.Class, src, cycle)
+		p.WantsResponse = false // the protocol engine already created the reply
+	} else {
+		p = noc.NewResponse(d.nextID, m.Src, m.Dst, m.Class, src, cycle)
+		if m.Bits() == noc.RequestBits {
+			p.SizeBits = noc.RequestBits // acks are header-only
+		}
+	}
+	return p
+}
+
+// sourceFor labels the packet with the Table III cache source.
+func sourceFor(m Msg) noc.Source {
+	if m.Src == config.L3RouterID {
+		return noc.SrcL3
+	}
+	if m.Class == noc.ClassCPU {
+		return noc.SrcCPUL2Down
+	}
+	return noc.SrcGPUL2Down
+}
+
+// drain injects queued packets until the network pushes back.
+func (d *Driver) drain() {
+	n := 0
+	for _, p := range d.queue {
+		if !d.target.Inject(p) {
+			break
+		}
+		n++
+		d.InjectedPackets++
+	}
+	if n > 0 {
+		remaining := copy(d.queue, d.queue[n:])
+		for i := remaining; i < len(d.queue); i++ {
+			d.queue[i] = nil
+		}
+		d.queue = d.queue[:remaining]
+	}
+}
+
+// QueuedPackets reports messages awaiting injection.
+func (d *Driver) QueuedPackets() int { return len(d.queue) }

@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+)
+
+// Op is a memory operation presented to the hierarchy.
+type Op int
+
+const (
+	// OpLoad is a coherent read.
+	OpLoad Op = iota
+	// OpStore is a coherent write (needs ownership).
+	OpStore
+	// OpNCStore is a GPU non-coherent store: it installs the line in the
+	// N state without invalidating remote copies; merging happens when
+	// the N line is evicted (Multi2Sim NMOESI).
+	OpNCStore
+	// OpIFetch is an instruction fetch (CPU L1I).
+	OpIFetch
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpNCStore:
+		return "nc-store"
+	case OpIFetch:
+		return "ifetch"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// MsgKind is a coherence message type crossing the network.
+type MsgKind int
+
+const (
+	// MsgGetS requests a readable copy.
+	MsgGetS MsgKind = iota
+	// MsgGetX requests an exclusive (writable) copy.
+	MsgGetX
+	// MsgUpgrade promotes Shared/Owned to Modified without data.
+	MsgUpgrade
+	// MsgInvalidate tells a sharer to drop its copy.
+	MsgInvalidate
+	// MsgInvAck acknowledges an invalidation.
+	MsgInvAck
+	// MsgData carries a line to the requester.
+	MsgData
+	// MsgWriteBack carries a dirty line down to the L3.
+	MsgWriteBack
+	// MsgWBAck acknowledges a write-back.
+	MsgWBAck
+	// MsgFwdGetS asks the current owner to supply data to a reader.
+	MsgFwdGetS
+)
+
+func (k MsgKind) String() string {
+	names := [...]string{"GetS", "GetX", "Upgrade", "Inv", "InvAck", "Data", "WriteBack", "WBAck", "FwdGetS"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("MsgKind(%d)", int(k))
+}
+
+// IsRequest reports whether the message is a request (no payload).
+func (k MsgKind) IsRequest() bool {
+	switch k {
+	case MsgGetS, MsgGetX, MsgUpgrade, MsgInvalidate, MsgFwdGetS:
+		return true
+	default:
+		return false
+	}
+}
+
+// Msg is one coherence message: the unit a NoC transports.
+type Msg struct {
+	Kind MsgKind
+	// Addr is the line address.
+	Addr uint64
+	// Src and Dst are crossbar router ids (cluster 0-15 or the L3
+	// router).
+	Src, Dst int
+	// Class is the requester's traffic class.
+	Class noc.Class
+}
+
+// Bits returns the on-wire size of the message.
+func (m Msg) Bits() int {
+	switch m.Kind {
+	case MsgData, MsgWriteBack:
+		return noc.ResponseBits
+	default:
+		return noc.RequestBits
+	}
+}
+
+// dirEntry tracks a line's global state at the L3 directory.
+type dirEntry struct {
+	sharers uint32 // bitmap over 16 clusters
+	owner   int    // cluster holding M/O/E, or -1
+}
+
+// Directory is the L3-side coherence directory.
+type Directory struct {
+	entries map[uint64]*dirEntry
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[uint64]*dirEntry)}
+}
+
+func (d *Directory) entry(addr uint64) *dirEntry {
+	e, ok := d.entries[addr]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// Sharers returns the clusters holding the line.
+func (d *Directory) Sharers(addr uint64) []int {
+	e, ok := d.entries[addr]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i := 0; i < config.NumClusterRouters; i++ {
+		if e.sharers&(1<<i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Owner returns the owning cluster or -1.
+func (d *Directory) Owner(addr uint64) int {
+	e, ok := d.entries[addr]
+	if !ok {
+		return -1
+	}
+	return e.owner
+}
+
+// addSharer records a cluster as holding the line.
+func (d *Directory) addSharer(addr uint64, cluster int) {
+	d.entry(addr).sharers |= 1 << cluster
+}
+
+// removeSharer clears a cluster's copy.
+func (d *Directory) removeSharer(addr uint64, cluster int) {
+	e := d.entry(addr)
+	e.sharers &^= 1 << cluster
+	if e.owner == cluster {
+		e.owner = -1
+	}
+	if e.sharers == 0 && e.owner == -1 {
+		delete(d.entries, addr)
+	}
+}
+
+// setOwner installs a cluster as exclusive owner, clearing other sharers.
+func (d *Directory) setOwner(addr uint64, cluster int) {
+	e := d.entry(addr)
+	e.owner = cluster
+	e.sharers = 1 << cluster
+}
+
+// Len reports tracked lines (for tests).
+func (d *Directory) Len() int { return len(d.entries) }

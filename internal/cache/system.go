@@ -1,0 +1,424 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+)
+
+// cluster is one checkerboard tile's cache complement: per-core CPU
+// L1I/L1D, per-CU GPU L1, and the two shared L2s (Table I).
+type cluster struct {
+	cpuL1I [config.CPUCoresPerCluster]*Cache
+	cpuL1D [config.CPUCoresPerCluster]*Cache
+	gpuL1  [config.GPUCUsPerCluster]*Cache
+	cpuL2  *Cache
+	gpuL2  *Cache
+}
+
+// System is the whole-chip cache hierarchy: 16 clusters, the shared
+// banked L3 and its coherence directory. Access applies one memory
+// operation atomically and returns the coherence messages generated, in
+// causal order — the traffic a NoC must carry.
+type System struct {
+	clusters [config.NumClusterRouters]*cluster
+	l3       *Cache
+	dir      *Directory
+
+	// MemWritebacks counts dirty L3 evictions to main memory.
+	MemWritebacks uint64
+	// MemFetches counts L3 misses filled from main memory.
+	MemFetches uint64
+}
+
+// NewSystem builds the Table I hierarchy: 32kB L1I + 64kB L1D per CPU
+// core, 64kB L1 per GPU CU, 256kB CPU L2 and 512kB GPU L2 per cluster,
+// 8MB shared L3.
+func NewSystem() *System {
+	s := &System{l3: MustCache("L3", config.L3CacheBytes, 16, DefaultLineSize), dir: NewDirectory()}
+	for k := range s.clusters {
+		c := &cluster{}
+		for i := 0; i < config.CPUCoresPerCluster; i++ {
+			c.cpuL1I[i] = MustCache(fmt.Sprintf("c%d.cpu%d.L1I", k, i), config.CPUL1ICacheBytes, 4, DefaultLineSize)
+			c.cpuL1D[i] = MustCache(fmt.Sprintf("c%d.cpu%d.L1D", k, i), config.CPUL1DCacheBytes, 4, DefaultLineSize)
+		}
+		for i := 0; i < config.GPUCUsPerCluster; i++ {
+			c.gpuL1[i] = MustCache(fmt.Sprintf("c%d.gpu%d.L1", k, i), config.GPUL1CacheBytes, 4, DefaultLineSize)
+		}
+		c.cpuL2 = MustCache(fmt.Sprintf("c%d.cpuL2", k), config.CPUL2CacheBytes, 8, DefaultLineSize)
+		c.gpuL2 = MustCache(fmt.Sprintf("c%d.gpuL2", k), config.GPUL2CacheBytes, 8, DefaultLineSize)
+		s.clusters[k] = c
+	}
+	return s
+}
+
+// Directory exposes the L3 directory for inspection.
+func (s *System) Directory() *Directory { return s.dir }
+
+// L3 exposes the shared cache for inspection.
+func (s *System) L3() *Cache { return s.l3 }
+
+// Cluster cache accessors for tests and stats.
+
+// CPUL2 returns cluster k's CPU L2.
+func (s *System) CPUL2(k int) *Cache { return s.clusters[k].cpuL2 }
+
+// GPUL2 returns cluster k's GPU L2.
+func (s *System) GPUL2(k int) *Cache { return s.clusters[k].gpuL2 }
+
+// CPUL1D returns cluster k's core-i CPU data cache.
+func (s *System) CPUL1D(k, i int) *Cache { return s.clusters[k].cpuL1D[i] }
+
+// GPUL1 returns cluster k's CU-i L1.
+func (s *System) GPUL1(k, i int) *Cache { return s.clusters[k].gpuL1[i] }
+
+// lineAddr aligns an address to its cache line.
+func lineAddr(addr uint64) uint64 {
+	return addr &^ (DefaultLineSize - 1)
+}
+
+// Access applies one memory operation by core coreIdx of the given class
+// in cluster k and returns the coherence messages generated.
+func (s *System) Access(k int, class noc.Class, coreIdx int, op Op, addr uint64) ([]Msg, error) {
+	if k < 0 || k >= config.NumClusterRouters {
+		return nil, fmt.Errorf("cache: cluster %d out of range", k)
+	}
+	addr = lineAddr(addr)
+	c := s.clusters[k]
+	switch class {
+	case noc.ClassCPU:
+		if coreIdx < 0 || coreIdx >= config.CPUCoresPerCluster {
+			return nil, fmt.Errorf("cache: CPU core %d out of range", coreIdx)
+		}
+		switch op {
+		case OpIFetch:
+			return s.accessRead(k, class, c.cpuL1I[coreIdx], c.cpuL2, addr), nil
+		case OpLoad:
+			return s.accessRead(k, class, c.cpuL1D[coreIdx], c.cpuL2, addr), nil
+		case OpStore:
+			return s.accessWrite(k, class, c.cpuL1D[coreIdx], c.cpuL2, addr), nil
+		case OpNCStore:
+			return nil, fmt.Errorf("cache: non-coherent store on a CPU core")
+		}
+	case noc.ClassGPU:
+		if coreIdx < 0 || coreIdx >= config.GPUCUsPerCluster {
+			return nil, fmt.Errorf("cache: GPU CU %d out of range", coreIdx)
+		}
+		switch op {
+		case OpLoad:
+			return s.accessRead(k, class, c.gpuL1[coreIdx], c.gpuL2, addr), nil
+		case OpNCStore:
+			return s.accessNCStore(k, class, c.gpuL1[coreIdx], c.gpuL2, addr), nil
+		case OpStore:
+			return s.accessWrite(k, class, c.gpuL1[coreIdx], c.gpuL2, addr), nil
+		case OpIFetch:
+			return s.accessRead(k, class, c.gpuL1[coreIdx], c.gpuL2, addr), nil
+		}
+	}
+	return nil, fmt.Errorf("cache: unsupported access %v/%v", class, op)
+}
+
+// readFillState maps an L2 hit state to the state the L1 copy takes.
+func readFillState(s State) State {
+	if s == Invalid {
+		return Shared
+	}
+	return s
+}
+
+// accessRead implements the load path: L1 -> L2 -> L3/directory.
+func (s *System) accessRead(k int, class noc.Class, l1, l2 *Cache, addr uint64) []Msg {
+	if l := l1.Touch(addr); l != nil {
+		return nil
+	}
+	if l := l2.Touch(addr); l != nil {
+		s.fill(k, l1, l2, addr, readFillState(l.State))
+		return nil
+	}
+	// L2 miss: GetS to the L3 router.
+	msgs := []Msg{{Kind: MsgGetS, Addr: addr, Src: k, Dst: config.L3RouterID, Class: class}}
+	msgs = append(msgs, s.directoryRead(k, class, addr)...)
+	state := Shared
+	if s.dir.Owner(addr) == k {
+		state = Exclusive
+	}
+	msgs = append(msgs, s.installLine(k, class, l1, l2, addr, state)...)
+	return msgs
+}
+
+// directoryRead serves a GetS at the directory: forward from a dirty
+// owner, or supply from L3/memory. It returns the generated messages and
+// updates global state.
+func (s *System) directoryRead(k int, class noc.Class, addr uint64) []Msg {
+	var msgs []Msg
+	owner := s.dir.Owner(addr)
+	if owner >= 0 && owner != k {
+		oc := s.clusters[owner]
+		ownerState := s.stateInCluster(oc, addr)
+		if ownerState == Modified || ownerState == Exclusive || ownerState == NonCoherent {
+			// Forward: owner supplies data and downgrades to Owned
+			// (dirty) or Shared (clean).
+			msgs = append(msgs,
+				Msg{Kind: MsgFwdGetS, Addr: addr, Src: config.L3RouterID, Dst: owner, Class: class},
+				Msg{Kind: MsgData, Addr: addr, Src: owner, Dst: k, Class: class},
+			)
+			next := Owned
+			if ownerState == Exclusive {
+				next = Shared
+			}
+			s.setClusterState(oc, addr, next)
+			if next == Shared {
+				s.dir.entry(addr).owner = -1
+			}
+			s.dir.addSharer(addr, k)
+			return msgs
+		}
+	}
+	// Supply from L3 (fetch from memory on L3 miss).
+	if s.l3.Touch(addr) == nil {
+		s.MemFetches++
+		s.l3Insert(addr, &msgs)
+	}
+	msgs = append(msgs, Msg{Kind: MsgData, Addr: addr, Src: config.L3RouterID, Dst: k, Class: class})
+	if len(s.dir.Sharers(addr)) == 0 {
+		// First reader gets Exclusive.
+		s.dir.setOwner(addr, k)
+	} else {
+		s.dir.addSharer(addr, k)
+	}
+	return msgs
+}
+
+// accessWrite implements the coherent-store path.
+func (s *System) accessWrite(k int, class noc.Class, l1, l2 *Cache, addr uint64) []Msg {
+	c := s.clusters[k]
+	state := s.stateInCluster(c, addr)
+	switch state {
+	case Modified:
+		l1.Touch(addr)
+		s.fill(k, l1, l2, addr, Modified)
+		return nil
+	case Exclusive:
+		// Silent E -> M upgrade.
+		l1.Touch(addr)
+		s.setClusterState(c, addr, Modified)
+		s.fill(k, l1, l2, addr, Modified)
+		return nil
+	case Shared, Owned, NonCoherent:
+		// Upgrade: invalidate other sharers through the directory.
+		l1.Touch(addr)
+		msgs := []Msg{{Kind: MsgUpgrade, Addr: addr, Src: k, Dst: config.L3RouterID, Class: class}}
+		msgs = append(msgs, s.invalidateOthers(k, class, addr)...)
+		s.setClusterState(c, addr, Modified)
+		s.fill(k, l1, l2, addr, Modified)
+		s.dir.setOwner(addr, k)
+		return msgs
+	default:
+		// Miss: GetX.
+		l1.Touch(addr) // counts the miss
+		msgs := []Msg{{Kind: MsgGetX, Addr: addr, Src: k, Dst: config.L3RouterID, Class: class}}
+		msgs = append(msgs, s.invalidateOthers(k, class, addr)...)
+		if s.l3.Touch(addr) == nil {
+			s.MemFetches++
+			s.l3Insert(addr, &msgs)
+		}
+		msgs = append(msgs, Msg{Kind: MsgData, Addr: addr, Src: config.L3RouterID, Dst: k, Class: class})
+		msgs = append(msgs, s.installLine(k, class, l1, l2, addr, Modified)...)
+		s.dir.setOwner(addr, k)
+		return msgs
+	}
+}
+
+// accessNCStore implements the GPU non-coherent store: install N locally
+// without invalidating remote copies; the merge happens at eviction.
+func (s *System) accessNCStore(k int, class noc.Class, l1, l2 *Cache, addr uint64) []Msg {
+	c := s.clusters[k]
+	state := s.stateInCluster(c, addr)
+	switch state {
+	case Modified, NonCoherent, Exclusive:
+		l1.Touch(addr)
+		if state == Exclusive {
+			s.setClusterState(c, addr, NonCoherent)
+		}
+		s.fill(k, l1, l2, addr, NonCoherent)
+		return nil
+	case Shared, Owned:
+		l1.Touch(addr)
+		s.setClusterState(c, addr, NonCoherent)
+		s.fill(k, l1, l2, addr, NonCoherent)
+		return nil
+	default:
+		l1.Touch(addr)
+		// Fetch the line (non-coherently) and install as N.
+		msgs := []Msg{{Kind: MsgGetS, Addr: addr, Src: k, Dst: config.L3RouterID, Class: class}}
+		if s.l3.Touch(addr) == nil {
+			s.MemFetches++
+			s.l3Insert(addr, &msgs)
+		}
+		msgs = append(msgs, Msg{Kind: MsgData, Addr: addr, Src: config.L3RouterID, Dst: k, Class: class})
+		msgs = append(msgs, s.installLine(k, class, l1, l2, addr, NonCoherent)...)
+		s.dir.addSharer(addr, k)
+		return msgs
+	}
+}
+
+// invalidateOthers sends invalidations to every other cluster holding the
+// line and collects their acks.
+func (s *System) invalidateOthers(k int, class noc.Class, addr uint64) []Msg {
+	var msgs []Msg
+	for _, sh := range s.dir.Sharers(addr) {
+		if sh == k {
+			continue
+		}
+		s.dropFromCluster(s.clusters[sh], addr)
+		s.dir.removeSharer(addr, sh)
+		msgs = append(msgs,
+			Msg{Kind: MsgInvalidate, Addr: addr, Src: config.L3RouterID, Dst: sh, Class: class},
+			Msg{Kind: MsgInvAck, Addr: addr, Src: sh, Dst: config.L3RouterID, Class: class},
+		)
+	}
+	return msgs
+}
+
+// installLine inserts addr into L2 then L1, generating write-backs for
+// dirty victims.
+func (s *System) installLine(k int, class noc.Class, l1, l2 *Cache, addr uint64, state State) []Msg {
+	var msgs []Msg
+	_, victim := l2.Insert(addr, state)
+	if victim != nil {
+		msgs = append(msgs, s.evictL2Victim(k, class, victim)...)
+	}
+	s.fill(k, l1, l2, addr, state)
+	s.dir.addSharer(addr, k)
+	return msgs
+}
+
+// fill mirrors a line into the L1 (inclusive hierarchy); L1 victims fold
+// into the L2 silently (dirty L1 victims mark the L2 copy dirty).
+func (s *System) fill(_ int, l1, l2 *Cache, addr uint64, state State) {
+	if l1.Lookup(addr) != nil {
+		l1.SetState(addr, state)
+		return
+	}
+	_, victim := l1.Insert(addr, state)
+	if victim != nil && victim.State.Dirty() {
+		if l2.Lookup(victim.Addr) != nil {
+			l2.SetState(victim.Addr, victim.State)
+		}
+		// If the L2 already evicted the line, the write-back went with
+		// it; nothing further to do at L1 granularity.
+	}
+}
+
+// evictL2Victim handles an L2 eviction: dirty lines write back to the L3;
+// clean lines drop silently, and the directory forgets this cluster.
+func (s *System) evictL2Victim(k int, class noc.Class, v *Victim) []Msg {
+	// The L1 copies must go too (inclusive hierarchy).
+	s.dropFromCluster(s.clusters[k], v.Addr)
+	s.dir.removeSharer(v.Addr, k)
+	if !v.State.Dirty() {
+		return nil
+	}
+	// Merge into L3.
+	var msgs []Msg
+	if s.l3.Touch(v.Addr) == nil {
+		s.l3Insert(v.Addr, &msgs)
+	}
+	s.l3.SetState(v.Addr, Modified)
+	msgs = append(msgs,
+		Msg{Kind: MsgWriteBack, Addr: v.Addr, Src: k, Dst: config.L3RouterID, Class: class},
+		Msg{Kind: MsgWBAck, Addr: v.Addr, Src: config.L3RouterID, Dst: k, Class: class},
+	)
+	return msgs
+}
+
+// l3Insert places a line in the L3, back-invalidating sharers displaced
+// by the victim (inclusive L3).
+func (s *System) l3Insert(addr uint64, msgs *[]Msg) {
+	_, victim := s.l3.Insert(addr, Shared)
+	if victim == nil {
+		return
+	}
+	for _, sh := range s.dir.Sharers(victim.Addr) {
+		s.dropFromCluster(s.clusters[sh], victim.Addr)
+		s.dir.removeSharer(victim.Addr, sh)
+		*msgs = append(*msgs,
+			Msg{Kind: MsgInvalidate, Addr: victim.Addr, Src: config.L3RouterID, Dst: sh, Class: noc.ClassCPU},
+			Msg{Kind: MsgInvAck, Addr: victim.Addr, Src: sh, Dst: config.L3RouterID, Class: noc.ClassCPU},
+		)
+	}
+	if victim.State.Dirty() {
+		s.MemWritebacks++
+	}
+}
+
+// stateInCluster returns the strongest state any cache in the cluster
+// holds for addr.
+func (s *System) stateInCluster(c *cluster, addr uint64) State {
+	best := Invalid
+	consider := func(cc *Cache) {
+		if l := cc.Lookup(addr); l != nil && strength(l.State) > strength(best) {
+			best = l.State
+		}
+	}
+	for i := range c.cpuL1D {
+		consider(c.cpuL1D[i])
+		consider(c.cpuL1I[i])
+	}
+	for i := range c.gpuL1 {
+		consider(c.gpuL1[i])
+	}
+	consider(c.cpuL2)
+	consider(c.gpuL2)
+	return best
+}
+
+// strength orders states for stateInCluster.
+func strength(s State) int {
+	switch s {
+	case Modified:
+		return 5
+	case NonCoherent:
+		return 4
+	case Owned:
+		return 3
+	case Exclusive:
+		return 2
+	case Shared:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// setClusterState rewrites every resident copy in the cluster.
+func (s *System) setClusterState(c *cluster, addr uint64, state State) {
+	apply := func(cc *Cache) {
+		if cc.Lookup(addr) != nil {
+			cc.SetState(addr, state)
+		}
+	}
+	for i := range c.cpuL1D {
+		apply(c.cpuL1D[i])
+		apply(c.cpuL1I[i])
+	}
+	for i := range c.gpuL1 {
+		apply(c.gpuL1[i])
+	}
+	apply(c.cpuL2)
+	apply(c.gpuL2)
+}
+
+// dropFromCluster invalidates every copy in the cluster.
+func (s *System) dropFromCluster(c *cluster, addr uint64) {
+	for i := range c.cpuL1D {
+		c.cpuL1D[i].Invalidate(addr)
+		c.cpuL1I[i].Invalidate(addr)
+	}
+	for i := range c.gpuL1 {
+		c.gpuL1[i].Invalidate(addr)
+	}
+	c.cpuL2.Invalidate(addr)
+	c.gpuL2.Invalidate(addr)
+}

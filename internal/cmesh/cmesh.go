@@ -1,0 +1,528 @@
+// Package cmesh implements the paper's electrical baseline: a 4x4
+// concentrated mesh (CMESH) with the same cluster organisation as PEARL —
+// each router concentrates 2 CPU cores, 4 GPU CUs and their L1/L2 caches
+// — dimension-order (XY) wormhole routing, 4 virtual channels of 4
+// 128-bit flit slots per input port, credit-based flow control, and
+// 128-bit links sized so the mesh bisection matches the 64-wavelength
+// photonic crossbar (§IV: "CMESH is designed to have the same bisection
+// bandwidth as the PEARL architectures").
+//
+// The shared L3 (with its two memory controllers) attaches at the two
+// central routers; traffic addressed to the PEARL L3 router id is routed
+// to the nearer attachment point, so the same workloads drive both
+// networks unchanged.
+package cmesh
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Mesh geometry and router microarchitecture constants.
+const (
+	// Width is the mesh side (4x4 concentrated mesh).
+	Width = config.GridWidth
+	// NumNodes is the mesh router count.
+	NumNodes = Width * Width
+	// VCsPerPort is the virtual channel count per input port (§IV).
+	VCsPerPort = 4
+	// SlotsPerVC is the flit depth of each VC buffer (§IV).
+	SlotsPerVC = 4
+	// FlitBits is the link phit width; one flit crosses a link per
+	// cycle, giving a bisection of 4 links x 128 bits = 512 bits/cycle
+	// per direction, equal to the photonic crossbar's 8 cluster
+	// channels x 64 bits/cycle.
+	FlitBits = config.FlitBits
+	// RouterPipelineCycles is the electrical router's per-hop pipeline
+	// depth (buffer write, route compute/VC allocation, switch
+	// allocation, switch traversal) beyond link traversal.
+	RouterPipelineCycles = 2
+)
+
+// L3 attachment points: the banked shared L3 and its memory controllers
+// attach at the four central routers of the mesh, mirroring the photonic
+// L3 router's multi-channel connectivity so both networks offer the L3
+// comparable injection/ejection bandwidth.
+var l3Attach = [4]int{5, 6, 9, 10}
+
+// port indices.
+const (
+	portNorth = iota
+	portSouth
+	portEast
+	portWest
+	numNeighborPorts
+)
+
+// flit is one 128-bit slice of a packet in flight.
+type flit struct {
+	pkt    *noc.Packet
+	isHead bool
+	isTail bool
+}
+
+// timedFlit is a flit with its link-arrival cycle.
+type timedFlit struct {
+	f       flit
+	readyAt int64
+}
+
+// inVC is one input virtual channel: a bounded flit FIFO plus wormhole
+// routing state for the packet currently occupying it.
+type inVC struct {
+	q []timedFlit
+
+	// routed reports whether the head packet has passed route compute.
+	routed  bool
+	outPort int // destination output port (or portLocal)
+	outVC   int // allocated downstream VC (neighbor ports only)
+	hasVC   bool
+}
+
+// portLocal is a pseudo output port index for ejection.
+const portLocal = numNeighborPorts
+
+// outVCState is sender-side bookkeeping for one downstream VC.
+type outVCState struct {
+	owner   *noc.Packet // packet holding the VC until its tail passes
+	credits int         // free slots in the downstream buffer
+}
+
+// router is one CMESH node.
+type router struct {
+	id   int
+	x, y int
+
+	// in holds neighbor input VCs: [port][vc].
+	in [numNeighborPorts][VCsPerPort]inVC
+	// local holds the two class injection queues, treated as two extra
+	// input VCs whose capacity matches the PEARL core buffers.
+	local [noc.NumClasses]inVC
+	// localSlotsUsed tracks flit occupancy of each class queue.
+	localSlotsUsed [noc.NumClasses]int
+
+	// out tracks downstream VC ownership and credits: [port][vc].
+	out [numNeighborPorts][VCsPerPort]outVCState
+
+	// rrNeighbor and rrLocal rotate arbitration priority per output
+	// port.
+	rr [numNeighborPorts + 1]int
+
+	// outBusyUntil serialises narrow links: an output port is busy for
+	// linkCyclesPerFlit cycles per flit.
+	outBusyUntil [numNeighborPorts + 1]int64
+
+	// inputs caches the fixed input-VC reference list (built once).
+	inputs []inputRef
+}
+
+// Network is the electrical CMESH under the same Target interface as the
+// photonic network.
+type Network struct {
+	engine  *sim.Engine
+	cfg     config.Config
+	routers [NumNodes]*router
+
+	acct      *power.Account
+	metrics   *stats.Network
+	onDeliver func(p *noc.Packet, cycle int64)
+	measuring bool
+
+	// linkCyclesPerFlit scales link bandwidth down for the Figure 5
+	// sweep ("we reduce the bandwidth proportionally", §IV.C): 1 matches
+	// the 64-wavelength photonic bisection, 2 halves it, 4 quarters it.
+	linkCyclesPerFlit int64
+
+	// ejected accumulates per-packet flit arrival counts at the local
+	// port so a packet delivers once its tail ejects.
+	ejected map[*noc.Packet]int
+}
+
+// New builds the mesh. Only the buffer-size fields of the configuration
+// are used; bandwidth and power policies do not apply to the electrical
+// baseline.
+func New(engine *sim.Engine, cfg config.Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		engine:            engine,
+		cfg:               cfg,
+		metrics:           stats.NewNetwork(),
+		ejected:           make(map[*noc.Packet]int),
+		linkCyclesPerFlit: 1,
+	}
+	for i := range n.routers {
+		r := &router{id: i, x: i % Width, y: i / Width}
+		for p := 0; p < numNeighborPorts; p++ {
+			for v := 0; v < VCsPerPort; v++ {
+				r.out[p][v].credits = SlotsPerVC
+			}
+		}
+		r.inputs = buildInputs(r)
+		n.routers[i] = r
+	}
+	return n, nil
+}
+
+// buildInputs assembles the fixed input-VC reference list for a router.
+func buildInputs(r *router) []inputRef {
+	refs := make([]inputRef, 0, numNeighborPorts*VCsPerPort+noc.NumClasses)
+	for p := 0; p < numNeighborPorts; p++ {
+		for v := 0; v < VCsPerPort; v++ {
+			refs = append(refs, inputRef{vc: &r.in[p][v]})
+		}
+	}
+	for c := 0; c < noc.NumClasses; c++ {
+		refs = append(refs, inputRef{vc: &r.local[c], local: true, class: noc.Class(c)})
+	}
+	return refs
+}
+
+// Metrics returns the measurement accumulator.
+func (n *Network) Metrics() *stats.Network { return n.metrics }
+
+// SetLinkScale narrows every link so a flit occupies it for k cycles,
+// scaling the bisection bandwidth by 1/k for the Figure 5 comparison
+// against bandwidth-constrained photonic configurations.
+func (n *Network) SetLinkScale(k int) {
+	if k < 1 {
+		panic("cmesh: link scale below 1")
+	}
+	n.linkCyclesPerFlit = int64(k)
+}
+
+// SetAccount attaches the energy accumulator.
+func (n *Network) SetAccount(a *power.Account) { n.acct = a }
+
+// SetDeliveryHandler installs the workload's delivery callback.
+func (n *Network) SetDeliveryHandler(h func(p *noc.Packet, cycle int64)) { n.onDeliver = h }
+
+// StartMeasurement begins recording statistics.
+func (n *Network) StartMeasurement() { n.measuring = true }
+
+// StopMeasurement freezes statistics.
+func (n *Network) StopMeasurement(measuredCycles int64) {
+	n.measuring = false
+	n.metrics.MeasuredCycles = measuredCycles
+}
+
+// nodeFor maps a crossbar router id (0-15 clusters, 16 = L3) onto a mesh
+// node; L3 traffic lands on the attachment point nearest to other.
+func nodeFor(id, other int) int {
+	if id != config.L3RouterID {
+		return id
+	}
+	ref := other
+	if ref == config.L3RouterID {
+		ref = l3Attach[0]
+	}
+	best, bestDist := l3Attach[0], 1<<30
+	for _, a := range l3Attach {
+		d := hopDistance(a, ref)
+		if d < bestDist {
+			best, bestDist = a, d
+		}
+	}
+	return best
+}
+
+func hopDistance(a, b int) int {
+	ax, ay := a%Width, a/Width
+	bx, by := b%Width, b/Width
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Inject enqueues a packet at its source node's class queue. The queue
+// capacity matches the PEARL class buffers so both networks see identical
+// injection backpressure.
+func (n *Network) Inject(p *noc.Packet) bool {
+	if p.Src < 0 || p.Src > config.L3RouterID || p.Dst < 0 || p.Dst > config.L3RouterID || p.Src == p.Dst {
+		panic(fmt.Sprintf("cmesh: bad endpoints %d->%d", p.Src, p.Dst))
+	}
+	src := nodeFor(p.Src, p.Dst)
+	r := n.routers[src]
+	capSlots := n.cfg.CPUBufferSlots
+	if p.Class == noc.ClassGPU {
+		capSlots = n.cfg.GPUBufferSlots
+	}
+	flits := p.Flits(FlitBits)
+	if r.localSlotsUsed[p.Class]+flits > capSlots {
+		return false
+	}
+	r.localSlotsUsed[p.Class] += flits
+	now := n.engine.Cycle()
+	p.EnqueueCycle = now
+	vc := &r.local[p.Class]
+	for i := 0; i < flits; i++ {
+		vc.q = append(vc.q, timedFlit{
+			f:       flit{pkt: p, isHead: i == 0, isTail: i == flits-1},
+			readyAt: now,
+		})
+	}
+	return true
+}
+
+// Tick advances every router: route compute + VC allocation + switch
+// arbitration, then one flit per output port per router.
+func (n *Network) Tick(cycle int64) {
+	for _, r := range n.routers {
+		n.tickRouter(r, cycle)
+	}
+	if n.acct != nil {
+		n.acct.AddElectricalLeakage(NumNodes)
+		n.acct.AddCycle()
+	}
+}
+
+// inputRef identifies one input VC of a router (neighbor or local).
+type inputRef struct {
+	vc    *inVC
+	local bool
+	class noc.Class // for local queues, to release slot accounting
+}
+
+// tickRouter arbitrates each output port and forwards at most one flit
+// per port.
+func (n *Network) tickRouter(r *router, cycle int64) {
+	// Route-compute and VC-allocate every head that needs it.
+	for _, ref := range r.inputs {
+		n.routeAndAllocate(r, ref.vc, cycle)
+	}
+	// Arbitrate each output port (including local ejection) round-robin.
+	for out := 0; out <= portLocal; out++ {
+		n.arbitrate(r, out, r.inputs, cycle)
+	}
+}
+
+// headReady returns the head flit if it has crossed the link.
+func headReady(vc *inVC, cycle int64) (flit, bool) {
+	if len(vc.q) == 0 || vc.q[0].readyAt > cycle {
+		return flit{}, false
+	}
+	return vc.q[0].f, true
+}
+
+// routeAndAllocate performs RC on new heads and VA for neighbor-bound
+// packets.
+func (n *Network) routeAndAllocate(r *router, vc *inVC, cycle int64) {
+	head, ok := headReady(vc, cycle)
+	if !ok {
+		return
+	}
+	if head.isHead && !vc.routed {
+		vc.outPort = n.route(r, head.pkt)
+		vc.routed = true
+		vc.hasVC = false
+	}
+	if !vc.routed || vc.outPort == portLocal || vc.hasVC {
+		return
+	}
+	// VC allocation: claim a free downstream VC on the chosen port.
+	for v := 0; v < VCsPerPort; v++ {
+		st := &r.out[vc.outPort][v]
+		if st.owner == nil && st.credits > 0 {
+			st.owner = head.pkt
+			vc.outVC = v
+			vc.hasVC = true
+			return
+		}
+	}
+}
+
+// route computes the XY output port for a packet at router r.
+func (n *Network) route(r *router, p *noc.Packet) int {
+	dst := nodeFor(p.Dst, p.Src)
+	if dst == r.id {
+		return portLocal
+	}
+	dx, dy := dst%Width, dst/Width
+	switch {
+	case dx > r.x:
+		return portEast
+	case dx < r.x:
+		return portWest
+	case dy > r.y:
+		return portSouth
+	default:
+		return portNorth
+	}
+}
+
+// arbitrate forwards at most one flit through the given output port.
+func (n *Network) arbitrate(r *router, out int, inputs []inputRef, cycle int64) {
+	if cycle < r.outBusyUntil[out] {
+		return // narrow link still serialising the previous flit
+	}
+	nIn := len(inputs)
+	start := r.rr[out]
+	for k := 0; k < nIn; k++ {
+		ref := inputs[(start+k)%nIn]
+		vc := ref.vc
+		head, ok := headReady(vc, cycle)
+		if !ok || !vc.routed || vc.outPort != out {
+			continue
+		}
+		if out != portLocal {
+			if !vc.hasVC {
+				continue
+			}
+			if r.out[out][vc.outVC].credits <= 0 {
+				continue
+			}
+		}
+		n.forward(r, ref, head, cycle)
+		r.rr[out] = (start + k + 1) % nIn
+		return
+	}
+}
+
+// forward moves the head flit of the input VC through the crossbar.
+func (n *Network) forward(r *router, ref inputRef, f flit, cycle int64) {
+	vc := ref.vc
+	vc.q = vc.q[1:]
+	if ref.local {
+		r.localSlotsUsed[ref.class]--
+	}
+	if n.acct != nil {
+		n.acct.AddElectricalHop(FlitBits, vc.outPort != portLocal)
+	}
+	r.outBusyUntil[vc.outPort] = cycle + n.linkCyclesPerFlit
+	if vc.outPort == portLocal {
+		n.eject(f, cycle)
+	} else {
+		st := &r.out[vc.outPort][vc.outVC]
+		st.credits--
+		nb := n.neighbor(r, vc.outPort)
+		dvc := &nb.in[oppositePort(vc.outPort)][vc.outVC]
+		dvc.q = append(dvc.q, timedFlit{f: f, readyAt: cycle + n.linkCyclesPerFlit + RouterPipelineCycles})
+		if f.isHead {
+			f.pkt.Hops++
+		}
+		if f.isTail {
+			st.owner = nil
+		}
+		// Credit returns when the downstream slot frees; modelled as
+		// immediate-on-forward downstream (see creditReturn below).
+	}
+	if f.isTail {
+		vc.routed = false
+		vc.hasVC = false
+	}
+	// Returning a credit upstream: popping from a neighbor input VC
+	// frees one slot in this router's buffer, owned by the upstream
+	// sender. Upstream credit state lives in the sender's out[][] for
+	// the link feeding this VC; we locate and increment it.
+	if !ref.local {
+		n.returnCredit(r, vc, cycle)
+	}
+}
+
+// returnCredit finds the upstream router feeding the given input VC and
+// frees one credit.
+func (n *Network) returnCredit(r *router, vc *inVC, _ int64) {
+	for p := 0; p < numNeighborPorts; p++ {
+		for v := 0; v < VCsPerPort; v++ {
+			if &r.in[p][v] == vc {
+				up := n.neighbor(r, p)
+				up.out[oppositePort(p)][v].credits++
+				if up.out[oppositePort(p)][v].credits > SlotsPerVC {
+					panic("cmesh: credit overflow")
+				}
+				return
+			}
+		}
+	}
+	panic("cmesh: credit return for unknown VC")
+}
+
+// neighbor returns the router across the given port.
+func (n *Network) neighbor(r *router, port int) *router {
+	switch port {
+	case portNorth:
+		return n.routers[r.id-Width]
+	case portSouth:
+		return n.routers[r.id+Width]
+	case portEast:
+		return n.routers[r.id+1]
+	case portWest:
+		return n.routers[r.id-1]
+	default:
+		panic(fmt.Sprintf("cmesh: neighbor of port %d", port))
+	}
+}
+
+func oppositePort(port int) int {
+	switch port {
+	case portNorth:
+		return portSouth
+	case portSouth:
+		return portNorth
+	case portEast:
+		return portWest
+	case portWest:
+		return portEast
+	default:
+		panic(fmt.Sprintf("cmesh: opposite of port %d", port))
+	}
+}
+
+// eject accumulates flits at the local port and delivers the packet when
+// its tail arrives.
+func (n *Network) eject(f flit, cycle int64) {
+	p := f.pkt
+	n.ejected[p]++
+	if !f.isTail {
+		return
+	}
+	if n.ejected[p] != p.Flits(FlitBits) {
+		panic(fmt.Sprintf("cmesh: packet %d ejected %d of %d flits", p.ID, n.ejected[p], p.Flits(FlitBits)))
+	}
+	delete(n.ejected, p)
+	p.ArriveCycle = cycle
+	if n.measuring {
+		n.metrics.Delivered.Add(int(p.Class), p.SizeBits)
+		lat := float64(cycle - p.InjectCycle)
+		n.metrics.Latency.Add(lat)
+		if p.Class == noc.ClassCPU {
+			n.metrics.CPULatency.Add(lat)
+		} else {
+			n.metrics.GPULatency.Add(lat)
+		}
+	}
+	if n.acct != nil {
+		n.acct.AddDeliveredBits(p.SizeBits)
+	}
+	if n.onDeliver != nil {
+		n.onDeliver(p, cycle)
+	}
+}
+
+// InFlight reports flits buffered anywhere in the mesh plus partially
+// ejected packets, for drain checks.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, r := range n.routers {
+		for p := 0; p < numNeighborPorts; p++ {
+			for v := 0; v < VCsPerPort; v++ {
+				total += len(r.in[p][v].q)
+			}
+		}
+		for c := 0; c < noc.NumClasses; c++ {
+			total += len(r.local[c].q)
+		}
+	}
+	return total + len(n.ejected)
+}

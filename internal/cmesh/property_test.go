@@ -1,0 +1,125 @@
+package cmesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// TestXYRouteReachesDestinationProperty: any (src, dst) pair's packet
+// arrives, and its hop count equals the Manhattan distance (XY is
+// minimal).
+func TestXYRouteReachesDestinationProperty(t *testing.T) {
+	f := func(rawSrc, rawDst uint8) bool {
+		src := int(rawSrc) % NumNodes
+		dst := int(rawDst) % NumNodes
+		if src == dst {
+			return true
+		}
+		engine := sim.NewEngine()
+		net, err := New(engine, config.Default())
+		if err != nil {
+			return false
+		}
+		var got *noc.Packet
+		net.SetDeliveryHandler(func(p *noc.Packet, _ int64) { got = p })
+		engine.Register(net)
+		p := noc.NewRequest(1, src, dst, noc.ClassCPU, noc.SrcCPUL1D, 0)
+		if !net.Inject(p) {
+			return false
+		}
+		engine.Run(200)
+		return got != nil && got.Hops == hopDistance(src, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCreditConservationProperty: after draining any random load, every
+// output VC's credit count returns to SlotsPerVC.
+func TestCreditConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		engine := sim.NewEngine()
+		net, err := New(engine, config.Default())
+		if err != nil {
+			return false
+		}
+		engine.Register(net)
+		rng := sim.NewRNG(seed)
+		var id uint64
+		for burst := 0; burst < 5; burst++ {
+			for i := 0; i < 30; i++ {
+				id++
+				src := rng.Intn(NumNodes)
+				dst := rng.Intn(config.NumRouters)
+				for dst == src {
+					dst = rng.Intn(config.NumRouters)
+				}
+				var p *noc.Packet
+				if rng.Bernoulli(0.4) {
+					p = noc.NewResponse(id, src, dst, noc.ClassGPU, noc.SrcGPUL2Down, engine.Cycle())
+				} else {
+					p = noc.NewRequest(id, src, dst, noc.ClassCPU, noc.SrcCPUL1D, engine.Cycle())
+				}
+				net.Inject(p)
+			}
+			engine.Run(10)
+		}
+		engine.Run(20000)
+		if net.InFlight() != 0 {
+			return false
+		}
+		for _, r := range net.routers {
+			for p := 0; p < numNeighborPorts; p++ {
+				for v := 0; v < VCsPerPort; v++ {
+					st := r.out[p][v]
+					if st.credits != SlotsPerVC || st.owner != nil {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkScaleSlowsDelivery: halving link bandwidth must not speed up a
+// multi-flit packet.
+func TestLinkScaleSlowsDelivery(t *testing.T) {
+	latency := func(scale int) int64 {
+		engine := sim.NewEngine()
+		net, _ := New(engine, config.Default())
+		net.SetLinkScale(scale)
+		var at int64 = -1
+		net.SetDeliveryHandler(func(_ *noc.Packet, c int64) { at = c })
+		engine.Register(net)
+		net.Inject(noc.NewResponse(1, 0, 15, noc.ClassGPU, noc.SrcL3, 0))
+		engine.Run(500)
+		if at < 0 {
+			t.Fatal("packet never arrived")
+		}
+		return at
+	}
+	l1, l2, l4 := latency(1), latency(2), latency(4)
+	if !(l1 < l2 && l2 < l4) {
+		t.Fatalf("latencies not monotone in link scale: %d, %d, %d", l1, l2, l4)
+	}
+}
+
+func TestSetLinkScalePanics(t *testing.T) {
+	engine := sim.NewEngine()
+	net, _ := New(engine, config.Default())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.SetLinkScale(0)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Allocation is the bandwidth split Algorithm 1 assigns for one cycle.
+// Shares are fractions of the active wavelengths; they sum to 1 except in
+// the exclusive cases where one class holds everything.
+type Allocation struct {
+	CPUShare, GPUShare float64
+}
+
+// Allocate runs Algorithm 1 steps 1-3: given the two class occupancies
+// (Eq. 1-2 fractions in [0,1]) and the tuned upper bounds, it returns the
+// bandwidth split. minor is the low-demand class's share — the paper's
+// 25% step performed best among {6.25%, 12.5%, 25%} (§III.B).
+//
+// CPU precedence: the CPU is considered first for the 75% allocation
+// because of its latency sensitivity (step 3's ordering in the paper).
+func Allocate(betaCPU, betaGPU, cpuUpperBound, gpuUpperBound, minor float64) Allocation {
+	if betaCPU < 0 || betaGPU < 0 {
+		panic(fmt.Sprintf("core: negative occupancy %v/%v", betaCPU, betaGPU))
+	}
+	if minor <= 0 || minor > 0.5 {
+		panic(fmt.Sprintf("core: minor share %v outside (0,0.5]", minor))
+	}
+	switch {
+	case betaGPU == 0 && betaCPU > 0:
+		return Allocation{CPUShare: 1, GPUShare: 0} // step 3a
+	case betaCPU == 0 && betaGPU > 0:
+		return Allocation{CPUShare: 0, GPUShare: 1} // step 3b
+	case betaCPU == 0 && betaGPU == 0:
+		return Allocation{CPUShare: 0.5, GPUShare: 0.5} // idle link
+	case betaGPU < gpuUpperBound:
+		return Allocation{CPUShare: 1 - minor, GPUShare: minor} // step 3c
+	case betaCPU < cpuUpperBound:
+		return Allocation{CPUShare: minor, GPUShare: 1 - minor} // step 3d
+	default:
+		return Allocation{CPUShare: 0.5, GPUShare: 0.5} // step 3e
+	}
+}
+
+// ReservationPacketBits computes ResPacket_size from §III.B:
+// log2(2 x N x S_CPU x S_GPU x D x N_L3) rounded up, where N is the
+// number of non-L3 routers, S_* the packet-type counts per class, D the
+// number of allocation possibilities and N_L3 the L3 router count.
+func ReservationPacketBits(n, sCPU, sGPU, d, nL3 int) int {
+	if n <= 0 || sCPU <= 0 || sGPU <= 0 || d <= 0 || nL3 <= 0 {
+		panic("core: non-positive reservation parameter")
+	}
+	product := 2 * n * sCPU * sGPU * d * nL3
+	bits := 0
+	for v := product - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// DefaultReservationPacketBits evaluates the formula for the PEARL
+// configuration: 16 cluster routers, request/response per class, D = 5
+// allocation possibilities, one L3 router.
+func DefaultReservationPacketBits() int {
+	return ReservationPacketBits(config.NumClusterRouters, 2, 2, 5, config.NumL3Routers)
+}
+
+// ReservationWavelengths sizes the reservation waveguide: the broadcast
+// must deliver ResPacket_size bits to every router within one network
+// cycle at the per-wavelength data rate (§III.B).
+func ReservationWavelengths(resBits int, dataRateGbps, networkGHz float64) int {
+	if resBits <= 0 || dataRateGbps <= 0 || networkGHz <= 0 {
+		panic("core: non-positive reservation sizing parameter")
+	}
+	bitsPerWLPerCycle := dataRateGbps / networkGHz
+	wl := int(float64(resBits) / bitsPerWLPerCycle)
+	if float64(wl)*bitsPerWLPerCycle < float64(resBits) {
+		wl++
+	}
+	if wl < 1 {
+		wl = 1
+	}
+	return wl
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/photonic"
+	"repro/internal/sim"
+)
+
+func TestAllocateAlgorithm1Cases(t *testing.T) {
+	const cpuUB, gpuUB, minor = 0.16, 0.06, 0.25
+	cases := []struct {
+		name             string
+		betaCPU, betaGPU float64
+		wantCPU, wantGPU float64
+	}{
+		{"3a: only CPU traffic", 0.5, 0, 1, 0},
+		{"3b: only GPU traffic", 0, 0.5, 0, 1},
+		{"idle", 0, 0, 0.5, 0.5},
+		{"3c: GPU below bound", 0.5, 0.03, 0.75, 0.25},
+		{"3d: CPU below bound", 0.05, 0.5, 0.25, 0.75},
+		{"3e: both loaded", 0.5, 0.5, 0.5, 0.5},
+		{"3c precedence: both below bounds favours CPU", 0.05, 0.03, 0.75, 0.25},
+	}
+	for _, tc := range cases {
+		got := Allocate(tc.betaCPU, tc.betaGPU, cpuUB, gpuUB, minor)
+		if got.CPUShare != tc.wantCPU || got.GPUShare != tc.wantGPU {
+			t.Errorf("%s: got %.2f/%.2f, want %.2f/%.2f",
+				tc.name, got.CPUShare, got.GPUShare, tc.wantCPU, tc.wantGPU)
+		}
+	}
+}
+
+func TestAllocateRespectsStep(t *testing.T) {
+	got := Allocate(0.5, 0.03, 0.16, 0.06, 0.125)
+	if got.CPUShare != 0.875 || got.GPUShare != 0.125 {
+		t.Errorf("12.5%% step: got %v/%v", got.CPUShare, got.GPUShare)
+	}
+}
+
+func TestAllocatePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Allocate(-0.1, 0, 0.16, 0.06, 0.25) },
+		func() { Allocate(0, -0.1, 0.16, 0.06, 0.25) },
+		func() { Allocate(0.5, 0.5, 0.16, 0.06, 0) },
+		func() { Allocate(0.5, 0.5, 0.16, 0.06, 0.75) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAllocateSharesSumProperty(t *testing.T) {
+	// Shares always sum to exactly 1 except the exclusive 100/0 cases,
+	// which also sum to 1.
+	f := func(a, b uint8) bool {
+		betaCPU := float64(a) / 255
+		betaGPU := float64(b) / 255
+		got := Allocate(betaCPU, betaGPU, 0.16, 0.06, 0.25)
+		sum := got.CPUShare + got.GPUShare
+		return sum == 1 || (betaCPU == 0 && betaGPU == 0 && sum == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateCPUNeverStarved(t *testing.T) {
+	// Goal (iii) of §III.B: whenever the CPU has traffic it gets a
+	// non-zero share.
+	f := func(a, b uint8) bool {
+		betaCPU := float64(a)/255 + 0.001
+		betaGPU := float64(b) / 255
+		got := Allocate(betaCPU, betaGPU, 0.16, 0.06, 0.25)
+		return got.CPUShare > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservationPacketBits(t *testing.T) {
+	// 2 x 16 x 2 x 2 x 5 x 1 = 640 -> ceil(log2 640) = 10 bits.
+	if got := DefaultReservationPacketBits(); got != 10 {
+		t.Errorf("reservation packet = %d bits, want 10", got)
+	}
+	if got := ReservationPacketBits(1, 1, 1, 1, 1); got != 1 {
+		t.Errorf("minimal reservation packet = %d bits, want 1", got)
+	}
+}
+
+func TestReservationPacketBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ReservationPacketBits(0, 2, 2, 5, 1)
+}
+
+func TestReservationWavelengths(t *testing.T) {
+	// 10 bits per cycle at 16 Gbps per WL and 2 GHz network clock: each
+	// WL moves 8 bits/cycle -> 2 wavelengths.
+	if got := ReservationWavelengths(10, 16, 2); got != 2 {
+		t.Errorf("reservation waveguide = %d WL, want 2", got)
+	}
+	if got := ReservationWavelengths(8, 16, 2); got != 1 {
+		t.Errorf("exact fit = %d WL, want 1", got)
+	}
+}
+
+func TestReservationWavelengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ReservationWavelengths(0, 16, 2)
+}
+
+func TestStateForOccupancyLadder(t *testing.T) {
+	th := config.DefaultThresholds()
+	cases := []struct {
+		beta float64
+		want photonic.WLState
+	}{
+		{0.40, photonic.WL64},
+		{0.20, photonic.WL48},
+		{0.10, photonic.WL32},
+		{0.03, photonic.WL16},
+		{0.01, photonic.WL8},
+		{0.0, photonic.WL8},
+	}
+	for _, tc := range cases {
+		if got := StateForOccupancy(tc.beta, th, true); got != tc.want {
+			t.Errorf("beta %.2f -> %v, want %v", tc.beta, got, tc.want)
+		}
+	}
+	// Without the 8WL state the floor is 16.
+	if got := StateForOccupancy(0.0, th, false); got != photonic.WL16 {
+		t.Errorf("no-8WL floor = %v", got)
+	}
+}
+
+func TestStateForOccupancyMonotoneProperty(t *testing.T) {
+	th := config.DefaultThresholds()
+	f := func(a, b uint8) bool {
+		x, y := float64(a)/255, float64(b)/255
+		if x > y {
+			x, y = y, x
+		}
+		return StateForOccupancy(x, th, true) <= StateForOccupancy(y, th, true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateForPredictionEq7(t *testing.T) {
+	// 500-cycle window, 128-bit packets. WL8 drains 8 bits/cycle = 4000
+	// bits/window = 31.25 packets.
+	if got := StateForPrediction(20, 128, 500, true); got != photonic.WL8 {
+		t.Errorf("20 pkts -> %v, want 8WL", got)
+	}
+	if got := StateForPrediction(20, 128, 500, false); got != photonic.WL16 {
+		t.Errorf("20 pkts no8WL -> %v, want 16WL", got)
+	}
+	// 64 bits/cycle x 500 = 32000 bits = 250 packets saturates WL64.
+	if got := StateForPrediction(240, 128, 500, true); got != photonic.WL64 {
+		t.Errorf("240 pkts -> %v, want 64WL", got)
+	}
+	// Demand beyond capacity still returns the top state.
+	if got := StateForPrediction(10000, 128, 500, true); got != photonic.WL64 {
+		t.Errorf("overload -> %v, want 64WL", got)
+	}
+	// Negative predictions clamp to the floor.
+	if got := StateForPrediction(-5, 128, 500, true); got != photonic.WL8 {
+		t.Errorf("negative -> %v, want 8WL", got)
+	}
+	// Zero mean size falls back to the request size.
+	if got := StateForPrediction(20, 0, 500, true); got != photonic.WL8 {
+		t.Errorf("zero size -> %v", got)
+	}
+}
+
+func TestStateForPredictionMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return StateForPrediction(x, 128, 500, true) <= StateForPrediction(y, 128, 500, true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateForPredictionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StateForPrediction(10, 128, 0, true)
+}
+
+func TestPolicies(t *testing.T) {
+	info := WindowInfo{BetaTotal: 0.5, MeanPacketBits: 128, WindowCycles: 500, Features: make([]float64, 30)}
+	if got := (StaticPolicy{State: photonic.WL32}).NextState(info); got != photonic.WL32 {
+		t.Errorf("static -> %v", got)
+	}
+	reactive := ReactivePolicy{Thresholds: config.DefaultThresholds(), Allow8WL: true}
+	if got := reactive.NextState(info); got != photonic.WL64 {
+		t.Errorf("reactive high load -> %v", got)
+	}
+	ml := MLPolicy{Model: PredictorFunc(func([]float64) float64 { return 10 }), Allow8WL: true}
+	if got := ml.NextState(info); got != photonic.WL8 {
+		t.Errorf("ML low prediction -> %v", got)
+	}
+}
+
+func TestRandomPolicyExcludes8WL(t *testing.T) {
+	p := RandomPolicy{RNG: sim.NewRNG(1)}
+	seen := map[photonic.WLState]bool{}
+	for i := 0; i < 1000; i++ {
+		s := p.NextState(WindowInfo{})
+		if s == photonic.WL8 {
+			t.Fatal("random policy must exclude 8WL during data collection (§IV.B)")
+		}
+		seen[s] = true
+	}
+	for _, s := range []photonic.WLState{photonic.WL16, photonic.WL32, photonic.WL48, photonic.WL64} {
+		if !seen[s] {
+			t.Errorf("state %v never chosen in 1000 draws", s)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package core implements PEARL, the paper's primary contribution: a
+// 17-router optical crossbar (16 CPU-GPU cluster routers in a 4x4
+// checkerboard grid plus the shared-L3 router) built on
+// reservation-assisted single-writer-multiple-reader (R-SWMR) links,
+// running three cooperating mechanisms:
+//
+//   - Dynamic bandwidth allocation (Algorithm 1, steps 0-5): every cycle
+//     each router splits its send link's wavelengths between the CPU and
+//     GPU traffic classes from local buffer occupancy alone — no global
+//     coordination.
+//   - Reactive dynamic power scaling (Algorithm 1, steps 6-8): at every
+//     reservation-window boundary the window's mean buffer occupancy
+//     picks one of five laser states (64/48/32/16/8 wavelengths).
+//   - Proactive ML power scaling (§III.D): a ridge regression over the 30
+//     Table III features predicts next-window packet injections, mapped
+//     to a wavelength state through the Eq. 7 capacity inequality.
+//
+// The network is a deterministic cycle-driven model: generators inject
+// packets into per-class core input buffers, the DBA assigns shares, the
+// class transmitters serialize packets onto the router's send waveguide
+// with the bank-quantised timing of §III.C, and arrivals land in the
+// destination's network input buffers for ejection to cores. Laser
+// turn-on stalls (2 ns default) gate transmissions after every up-switch.
+package core

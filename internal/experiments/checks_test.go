@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestShapeChecksReport(t *testing.T) {
+	opts := tiny()
+	opts.Pairs = Quick().Pairs // 4 pairs for stabler orderings
+	opts.MeasureCycles = 15000
+	s := NewSuite(opts)
+	report, err := s.RunShapeChecks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Checks) < 10 {
+		t.Fatalf("only %d checks", len(report.Checks))
+	}
+	// At tiny scale the figures are noisy; require the large majority of
+	// claims to hold and the report to render.
+	if report.Passed() < len(report.Checks)-2 {
+		t.Fatalf("too many failures:\n%s", report)
+	}
+	if report.String() == "" {
+		t.Fatal("empty report")
+	}
+	for _, c := range report.Checks {
+		if c.ID == "" || c.Claim == "" || c.Detail == "" {
+			t.Fatalf("incomplete check %+v", c)
+		}
+	}
+}

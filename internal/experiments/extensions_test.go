@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestExtensions(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Both learners must save power vs the 64WL baseline.
+	for _, label := range []string{"Online RLS RW500", "Q-learning RW500"} {
+		sav, ok := tbl.Value(label, "savings %")
+		if !ok {
+			t.Fatalf("missing %s", label)
+		}
+		if sav <= 0 {
+			t.Errorf("%s saved nothing (%.1f%%)", label, sav)
+		}
+		thr, _ := tbl.Value(label, "vs 64WL %")
+		if thr < -40 {
+			t.Errorf("%s throughput collapse (%.1f%%)", label, thr)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFigure6And7(t *testing.T) {
+	s := NewSuite(tiny())
+	f6, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := s.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.Rows) != 6 || len(f7.Rows) != 6 {
+		t.Fatalf("rows: f6=%d f7=%d, want 6 configurations", len(f6.Rows), len(f7.Rows))
+	}
+	// Row 0 is the 64WL baseline: zero deltas.
+	if f6.Rows[0].Values[1] != 0 || f7.Rows[0].Values[1] != 0 {
+		t.Fatal("baseline row must have zero delta")
+	}
+	if f7.Rows[0].Values[0] < 1.159 || f7.Rows[0].Values[0] > 1.161 {
+		t.Fatalf("baseline laser power %v, want 1.16", f7.Rows[0].Values[0])
+	}
+	// Every power-scaled configuration must save laser power.
+	for _, r := range f7.Rows[1:] {
+		if r.Values[1] <= 0 {
+			t.Errorf("%s saved no power (%.1f%%)", r.Label, r.Values[1])
+		}
+		if r.Values[1] > 95 {
+			t.Errorf("%s savings %.1f%% implausible", r.Label, r.Values[1])
+		}
+	}
+	// The 8WL state must help ML RW500 (paper: 65.5%% vs 60.7%%).
+	with, _ := f7.Value("ML RW500", "savings %")
+	without, _ := f7.Value("ML RW500 no8WL", "savings %")
+	if with < without-1 {
+		t.Errorf("8WL state hurt savings: %v with vs %v without", with, without)
+	}
+	// Throughput losses stay within the paper's envelope (generous
+	// margin for the tiny harness).
+	for _, r := range f6.Rows[1:] {
+		if r.Values[1] < -30 {
+			t.Errorf("%s lost %.1f%% throughput; far outside the paper's 0-14%%", r.Label, r.Values[1])
+		}
+	}
+}
+
+func TestFigure6And7ShareSweep(t *testing.T) {
+	// Figure6 and Figure7 must reuse the cached sweep (identical
+	// underlying data).
+	s := NewSuite(tiny())
+	f6a, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6b, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f6a.Rows {
+		if f6a.Rows[i].Values[0] != f6b.Rows[i].Values[0] {
+			t.Fatal("cached sweep returned different values")
+		}
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		var sum float64
+		for _, v := range r.Values {
+			if v < 0 {
+				t.Fatalf("%s has negative residency", r.Label)
+			}
+			sum += v
+		}
+		if math.Abs(sum-100) > 0.5 {
+			t.Fatalf("%s residency sums to %v", r.Label, sum)
+		}
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	dyn, ok := tbl.Value("PEARL-Dyn(64WL)", "vs CMESH %")
+	if !ok {
+		t.Fatal("missing PEARL-Dyn row")
+	}
+	if dyn <= 0 {
+		t.Fatalf("PEARL-Dyn does not beat CMESH: %+.1f%%", dyn)
+	}
+	cmesh, _ := tbl.Value("CMESH", "vs CMESH %")
+	if cmesh != 0 {
+		t.Fatalf("CMESH self-delta %v", cmesh)
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want baseline + 3 windows", len(tbl.Rows))
+	}
+	if tbl.Rows[0].Values[1] != 0 {
+		t.Fatal("baseline delta must be zero")
+	}
+	for _, r := range tbl.Rows[1:] {
+		if r.Values[0] <= 0 {
+			t.Fatalf("%s has no throughput", r.Label)
+		}
+	}
+}
+
+func TestNRMSETable(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.NRMSE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		val, test := r.Values[0], r.Values[1]
+		if val > 1 || test > 1 {
+			t.Fatalf("%s scores exceed perfect fit: %v/%v", r.Label, val, test)
+		}
+		if r.Values[2] < 50 || r.Values[2] > 100 {
+			t.Fatalf("%s top-state accuracy %v%%", r.Label, r.Values[2])
+		}
+	}
+}
+
+func TestAblationBandwidthStep(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.AblationBandwidthStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.Values[0] <= 0 {
+			t.Fatalf("%s has no throughput", r.Label)
+		}
+	}
+}
+
+func TestAblationDBABounds(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.AblationDBABounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblationThresholds(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.AblationThresholds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Higher thresholds must not raise laser power: the x4 row draws no
+	// more than the x0.25 row.
+	low := tbl.Rows[0].Values[1]
+	high := tbl.Rows[len(tbl.Rows)-1].Values[1]
+	if high > low*1.05 {
+		t.Fatalf("raising thresholds increased power: %v -> %v", low, high)
+	}
+}
+
+func TestAblationWindowSweep(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.AblationWindowSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.Values[1] >= 1.16 {
+			t.Errorf("%s saved nothing (%.3f W)", r.Label, r.Values[1])
+		}
+	}
+}
+
+func TestAblationFeatureSubset(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.AblationFeatureSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0].Values[0] != 30 {
+		t.Fatalf("first subset should be all 30 features, got %v", tbl.Rows[0].Values[0])
+	}
+}
+
+func TestAblationLabelChoice(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.AblationLabelChoice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.Values[0] <= 0 || r.Values[1] <= 0 {
+			t.Fatalf("%s produced degenerate results: %v", r.Label, r.Values)
+		}
+	}
+}
+
+func TestModelSaveLoad(t *testing.T) {
+	opts := tiny()
+	model, err := Train(500, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Window != model.Window || clone.Lambda != model.Lambda {
+		t.Fatal("provenance lost")
+	}
+	probe := make([]float64, 30)
+	probe[8] = 50
+	if math.Abs(clone.PredictPackets(probe)-model.PredictPackets(probe)) > 1e-9 {
+		t.Fatal("loaded model predicts differently")
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"window":0}`)); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"window":500,"params":{}}`)); err == nil {
+		t.Fatal("empty params accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mlkit"
+)
+
+// modelFile is the on-disk form of a trained model.
+type modelFile struct {
+	Window   int               `json:"window"`
+	Lambda   float64           `json:"lambda"`
+	ValScore float64           `json:"val_score"`
+	Params   mlkit.RidgeParams `json:"params"`
+}
+
+// Save writes the trained model as JSON (weights, scaler, provenance).
+func (m *TrainedModel) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(modelFile{
+		Window: m.Window, Lambda: m.Lambda, ValScore: m.ValScore,
+		Params: m.Ridge.Params(),
+	})
+}
+
+// LoadModel reads a model saved by Save.
+func LoadModel(r io.Reader) (*TrainedModel, error) {
+	var f modelFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("experiments: decoding model: %w", err)
+	}
+	if f.Window <= 0 {
+		return nil, fmt.Errorf("experiments: model with invalid window %d", f.Window)
+	}
+	ridge, err := mlkit.RidgeFromParams(f.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainedModel{Window: f.Window, Lambda: f.Lambda, ValScore: f.ValScore, Ridge: ridge}, nil
+}

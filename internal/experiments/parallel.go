@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap evaluates fn(i) for i in [0, n) concurrently and collects
+// the results in index order. Each simulation owns its engine and RNG
+// streams, so parallel evaluation is deterministic per index; only the
+// scheduling order varies. The first error (by index) wins.
+func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Markdown renders the table as a GitHub-flavoured Markdown table with
+// the title as a heading and the note as a trailing blockquote.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	b.WriteString("| |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---:|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %.4f |", v)
+		}
+		b.WriteByte('\n')
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n> %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Artifact pairs a stable key with its generator, for report building.
+type Artifact struct {
+	Key string
+	Fn  func() (Table, error)
+}
+
+// Artifacts enumerates every reproducible artifact in paper order,
+// including the ablations and extensions.
+func (s *Suite) Artifacts() []Artifact {
+	return []Artifact{
+		{"t1", func() (Table, error) { return TableI(), nil }},
+		{"t2", func() (Table, error) { return TableIIFig(), nil }},
+		{"t5", func() (Table, error) { return TableV(), nil }},
+		{"4", s.Figure4},
+		{"5", s.Figure5},
+		{"6", s.Figure6},
+		{"7", s.Figure7},
+		{"8", s.Figure8},
+		{"9", s.Figure9},
+		{"10", s.Figure10},
+		{"11", s.Figure11},
+		{"nrmse", s.NRMSE},
+		{"ab-step", s.AblationBandwidthStep},
+		{"ab-bounds", s.AblationDBABounds},
+		{"ab-thresholds", s.AblationThresholds},
+		{"ab-window", s.AblationWindowSweep},
+		{"ab-features", s.AblationFeatureSubset},
+		{"ab-label", s.AblationLabelChoice},
+		{"extensions", s.Extensions},
+		{"thermal", s.ThermalStudy},
+	}
+}
+
+// WriteMarkdownReport regenerates every artifact and writes a single
+// Markdown document, ending with the shape-check verdicts.
+func (s *Suite) WriteMarkdownReport(w io.Writer) error {
+	fmt.Fprintf(w, "# PEARL reproduction report\n\n")
+	fmt.Fprintf(w, "%d benchmark pairs, %d measured cycles per run, seed %d.\n\n",
+		len(s.Opts.Pairs), s.Opts.MeasureCycles, s.Opts.Seed)
+	for _, a := range s.Artifacts() {
+		start := time.Now()
+		tbl, err := a.Fn()
+		if err != nil {
+			return fmt.Errorf("experiments: artifact %s: %w", a.Key, err)
+		}
+		fmt.Fprintln(w, tbl.Markdown())
+		fmt.Fprintf(w, "_generated in %v_\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	report, err := s.RunShapeChecks()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Shape checks\n\n```\n%s```\n", report)
+	return nil
+}

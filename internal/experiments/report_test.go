@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := Table{
+		Title:   "Demo",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "row1", Values: []float64{1, 2}}},
+		Notes:   "a note",
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### Demo", "| a |", "| row1 | 1.0000 | 2.0000 |", "> a note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestArtifactsComplete(t *testing.T) {
+	s := NewSuite(tiny())
+	arts := s.Artifacts()
+	if len(arts) != 20 {
+		t.Fatalf("artifacts = %d, want 20", len(arts))
+	}
+	seen := map[string]bool{}
+	for _, a := range arts {
+		if a.Key == "" || a.Fn == nil || seen[a.Key] {
+			t.Fatalf("bad artifact %q", a.Key)
+		}
+		seen[a.Key] = true
+	}
+	for _, key := range []string{"4", "11", "nrmse", "thermal", "extensions"} {
+		if !seen[key] {
+			t.Errorf("missing artifact %q", key)
+		}
+	}
+}

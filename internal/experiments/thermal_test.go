@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestThermalStudy(t *testing.T) {
+	s := NewSuite(tiny())
+	tbl, err := s.ThermalStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		laser, gated, ungated := r.Values[0], r.Values[1], r.Values[2]
+		if gated > ungated+1e-9 {
+			t.Errorf("%s: gated trimming %v above ungated %v", r.Label, gated, ungated)
+		}
+		if laser <= 0 || ungated < 0 {
+			t.Errorf("%s: degenerate values %v", r.Label, r.Values)
+		}
+	}
+	// The power-scaled configs must cool the chip: their ungated
+	// trimming exceeds the static baseline's.
+	baseUngated := tbl.Rows[0].Values[2]
+	scaledUngated := tbl.Rows[1].Values[2]
+	if scaledUngated < baseUngated-1e-9 {
+		t.Errorf("power scaling should raise ungated trimming: %v vs %v", scaledUngated, baseUngated)
+	}
+	// Net gated power of a scaled config stays below the baseline's net
+	// gated power (the four-bank design preserves savings).
+	if tbl.Rows[1].Values[3] >= tbl.Rows[0].Values[3] {
+		t.Errorf("gated scaling saved nothing: %v vs %v", tbl.Rows[1].Values[3], tbl.Rows[0].Values[3])
+	}
+}

@@ -1,0 +1,132 @@
+package noc
+
+import "fmt"
+
+// Buffer is a bounded FIFO of packets whose occupancy is measured in flit
+// slots (128-bit buffer slots, per §IV: "each buffer slot is 128 bits").
+// A multi-flit response therefore consumes several slots. Occupancy feeds
+// the dynamic bandwidth allocator (Eq. 1-3) and the power-scaling window
+// sums.
+type Buffer struct {
+	name     string
+	capacity int // capacity in flit slots
+	flitBits int
+	used     int // occupied flit slots
+	queue    []*Packet
+
+	// drops counts packets rejected because the buffer was full.
+	drops uint64
+	// peakUsed tracks the high-water mark in slots.
+	peakUsed int
+	// occupancySum accumulates used-slots per Observe call, for windowed
+	// means.
+	occupancySum uint64
+	observations uint64
+}
+
+// NewBuffer returns an empty buffer holding capacitySlots flit slots of
+// flitBits each.
+func NewBuffer(name string, capacitySlots, flitBits int) *Buffer {
+	if capacitySlots <= 0 {
+		panic(fmt.Sprintf("noc: buffer %q with non-positive capacity", name))
+	}
+	if flitBits <= 0 {
+		panic(fmt.Sprintf("noc: buffer %q with non-positive flit width", name))
+	}
+	return &Buffer{name: name, capacity: capacitySlots, flitBits: flitBits}
+}
+
+// Name returns the buffer's diagnostic name.
+func (b *Buffer) Name() string { return b.name }
+
+// Capacity returns total flit slots.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Used returns occupied flit slots.
+func (b *Buffer) Used() int { return b.used }
+
+// Free returns unoccupied flit slots.
+func (b *Buffer) Free() int { return b.capacity - b.used }
+
+// Len returns the number of queued packets (not slots).
+func (b *Buffer) Len() int { return len(b.queue) }
+
+// Occupancy returns used/capacity in [0,1]; this is the β term of
+// Eq. 1-2.
+func (b *Buffer) Occupancy() float64 {
+	return float64(b.used) / float64(b.capacity)
+}
+
+// CanPush reports whether the packet's flits fit.
+func (b *Buffer) CanPush(p *Packet) bool {
+	return p.Flits(b.flitBits) <= b.Free()
+}
+
+// Push appends the packet if it fits and reports success. A rejected push
+// is counted as a drop.
+func (b *Buffer) Push(p *Packet) bool {
+	need := p.Flits(b.flitBits)
+	if need > b.Free() {
+		b.drops++
+		return false
+	}
+	b.used += need
+	if b.used > b.peakUsed {
+		b.peakUsed = b.used
+	}
+	b.queue = append(b.queue, p)
+	return true
+}
+
+// Front returns the head packet without removing it, or nil when empty.
+func (b *Buffer) Front() *Packet {
+	if len(b.queue) == 0 {
+		return nil
+	}
+	return b.queue[0]
+}
+
+// Pop removes and returns the head packet, or nil when empty.
+func (b *Buffer) Pop() *Packet {
+	if len(b.queue) == 0 {
+		return nil
+	}
+	p := b.queue[0]
+	b.queue[0] = nil
+	b.queue = b.queue[1:]
+	b.used -= p.Flits(b.flitBits)
+	return p
+}
+
+// Observe records the current occupancy into the windowed accumulator.
+// Call once per cycle.
+func (b *Buffer) Observe() {
+	b.occupancySum += uint64(b.used)
+	b.observations++
+}
+
+// WindowMeanOccupancy returns the mean occupancy fraction since the last
+// ResetWindow, or 0 with no observations.
+func (b *Buffer) WindowMeanOccupancy() float64 {
+	if b.observations == 0 {
+		return 0
+	}
+	return float64(b.occupancySum) / float64(b.observations) / float64(b.capacity)
+}
+
+// ResetWindow clears the windowed occupancy accumulator (end of a
+// reservation window).
+func (b *Buffer) ResetWindow() {
+	b.occupancySum = 0
+	b.observations = 0
+}
+
+// Drops returns how many pushes were rejected.
+func (b *Buffer) Drops() uint64 { return b.drops }
+
+// PeakUsed returns the high-water mark in slots.
+func (b *Buffer) PeakUsed() int { return b.peakUsed }
+
+func (b *Buffer) String() string {
+	return fmt.Sprintf("buf[%s %d/%d slots, %d pkts]", b.name, b.used, b.capacity, len(b.queue))
+}

@@ -1,0 +1,161 @@
+// Package photonic models the physical layer of the PEARL optical
+// interconnect: the five laser wavelength states, the Table V optical loss
+// budget, per-state laser electrical power, ring heating and modulation
+// power, and the bank-quantised serialization timing of §III.C.
+//
+// The link is built from four banks of 16 wavelengths (LA0-15 .. LA48-63).
+// Each active bank moves one 32-bit chunk per two network cycles through
+// its multiplexer, so a 128-bit flit takes 2/4/4/8/16 cycles at
+// 64/48/32/16/8 wavelengths — exactly the paper's numbers.
+package photonic
+
+import (
+	"fmt"
+	"math"
+)
+
+// WLState is one of the five laser power states of §III.C.
+type WLState int
+
+const (
+	WL8 WLState = iota
+	WL16
+	WL32
+	WL48
+	WL64
+	// NumStates is the number of wavelength states.
+	NumStates
+)
+
+// Wavelengths returns the number of active wavelengths in the state.
+func (s WLState) Wavelengths() int {
+	switch s {
+	case WL8:
+		return 8
+	case WL16:
+		return 16
+	case WL32:
+		return 32
+	case WL48:
+		return 48
+	case WL64:
+		return 64
+	default:
+		panic(fmt.Sprintf("photonic: invalid state %d", int(s)))
+	}
+}
+
+// StateForWavelengths maps a wavelength count to its state.
+func StateForWavelengths(wl int) (WLState, error) {
+	switch wl {
+	case 8:
+		return WL8, nil
+	case 16:
+		return WL16, nil
+	case 32:
+		return WL32, nil
+	case 48:
+		return WL48, nil
+	case 64:
+		return WL64, nil
+	default:
+		return 0, fmt.Errorf("photonic: no state with %d wavelengths", wl)
+	}
+}
+
+func (s WLState) String() string {
+	return fmt.Sprintf("%dWL", s.Wavelengths())
+}
+
+// States lists every state from lowest to highest power.
+func States() []WLState { return []WLState{WL8, WL16, WL32, WL48, WL64} }
+
+// LaserPowerW returns the per-router laser electrical power for the state,
+// the paper's §IV.B values: 1.16, 0.871, 0.581, 0.29 and 0.145 W for 64,
+// 48, 32, 16 and 8 wavelengths. The paper notes the power is almost
+// exactly linear in the wavelength count (~18.1 mW per wavelength).
+func (s WLState) LaserPowerW() float64 {
+	switch s {
+	case WL64:
+		return 1.16
+	case WL48:
+		return 0.871
+	case WL32:
+		return 0.581
+	case WL16:
+		return 0.29
+	case WL8:
+		return 0.145
+	default:
+		panic(fmt.Sprintf("photonic: invalid state %d", int(s)))
+	}
+}
+
+// Banks returns the number of active 16-wavelength laser banks; WL8 powers
+// half a bank (§III.C: "one of the 16 wavelength banks would have to be
+// split in half").
+func (s WLState) Banks() float64 {
+	return float64(s.Wavelengths()) / 16
+}
+
+// Frame geometry of §III.C: each active bank moves one 32-bit chunk per
+// two-cycle frame through its multiplexer.
+const (
+	FrameCycles   = 2
+	BankFrameBits = 32
+)
+
+// FrameBits returns how many bits the state moves per two-cycle frame at a
+// 100% bandwidth share.
+func (s WLState) FrameBits() float64 { return s.Banks() * BankFrameBits }
+
+// SerializationCycles returns how many network cycles serializing sizeBits
+// takes in this state when the transmitting class holds the given
+// bandwidth share (0 < share <= 1). Transmission is quantised to two-cycle
+// frames, reproducing the paper's per-flit latencies (128 bits: 2, 4, 4,
+// 8, 16 cycles at shares of 1.0).
+func (s WLState) SerializationCycles(sizeBits int, share float64) int {
+	if sizeBits <= 0 {
+		panic("photonic: non-positive packet size")
+	}
+	if share <= 0 || share > 1 {
+		panic(fmt.Sprintf("photonic: bandwidth share %v outside (0,1]", share))
+	}
+	bitsPerFrame := s.FrameBits() * share
+	frames := int(math.Ceil(float64(sizeBits) / bitsPerFrame))
+	return frames * FrameCycles
+}
+
+// BitsPerCycle is the mean serialization rate at a 100% share, used for
+// capacity calculations (Eq. 7 thresholds).
+func (s WLState) BitsPerCycle() float64 { return s.FrameBits() / FrameCycles }
+
+// Next returns the next-higher power state, saturating at WL64.
+func (s WLState) Next() WLState {
+	if s >= WL64 {
+		return WL64
+	}
+	return s + 1
+}
+
+// Prev returns the next-lower power state, saturating at the floor: WL8
+// when allow8 is true, else WL16.
+func (s WLState) Prev(allow8 bool) WLState {
+	floor := WL16
+	if allow8 {
+		floor = WL8
+	}
+	if s <= floor {
+		return floor
+	}
+	return s - 1
+}
+
+// Clamp raises the state to WL16 when the 8-wavelength low-power state is
+// disallowed.
+func (s WLState) Clamp(allow8 bool) WLState {
+	if !allow8 && s == WL8 {
+		return WL16
+	}
+	return s
+}

@@ -1,0 +1,234 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWavelengthCounts(t *testing.T) {
+	want := map[WLState]int{WL8: 8, WL16: 16, WL32: 32, WL48: 48, WL64: 64}
+	for s, wl := range want {
+		if s.Wavelengths() != wl {
+			t.Errorf("%v.Wavelengths() = %d, want %d", s, s.Wavelengths(), wl)
+		}
+	}
+}
+
+func TestStateForWavelengths(t *testing.T) {
+	for _, s := range States() {
+		got, err := StateForWavelengths(s.Wavelengths())
+		if err != nil || got != s {
+			t.Errorf("StateForWavelengths(%d) = %v, %v", s.Wavelengths(), got, err)
+		}
+	}
+	if _, err := StateForWavelengths(40); err == nil {
+		t.Error("expected error for 40 wavelengths")
+	}
+}
+
+func TestLaserPowerMatchesPaper(t *testing.T) {
+	want := map[WLState]float64{
+		WL64: 1.16, WL48: 0.871, WL32: 0.581, WL16: 0.29, WL8: 0.145,
+	}
+	for s, p := range want {
+		if s.LaserPowerW() != p {
+			t.Errorf("%v power = %v, want %v (paper §IV.B)", s, s.LaserPowerW(), p)
+		}
+	}
+}
+
+func TestLaserPowerNearlyLinear(t *testing.T) {
+	// §III.C: "laser power increases almost linearly with the number of
+	// wavelengths". Per-wavelength power must agree within 1%.
+	ref := WL64.LaserPowerW() / 64
+	for _, s := range States() {
+		per := s.LaserPowerW() / float64(s.Wavelengths())
+		if math.Abs(per-ref)/ref > 0.01 {
+			t.Errorf("%v per-wavelength power %.4f deviates from %.4f", s, per*1000, ref*1000)
+		}
+	}
+}
+
+func TestSerializationMatchesPaperTable(t *testing.T) {
+	// §III.C: a 128-bit flit takes 2, 4, 4, 8 cycles at 64, 48, 32, 16
+	// wavelengths and 16 cycles at the 8WL state.
+	want := map[WLState]int{WL64: 2, WL48: 4, WL32: 4, WL16: 8, WL8: 16}
+	for s, cycles := range want {
+		if got := s.SerializationCycles(128, 1.0); got != cycles {
+			t.Errorf("%v serialization(128b) = %d cycles, want %d", s, got, cycles)
+		}
+	}
+}
+
+func TestSerializationWithShare(t *testing.T) {
+	// At 64 WL with a 25% share the class owns one bank: 32 bits per
+	// frame -> 4 frames -> 8 cycles for 128 bits.
+	if got := WL64.SerializationCycles(128, 0.25); got != 8 {
+		t.Errorf("64WL@25%% = %d cycles, want 8", got)
+	}
+	// 75% share -> 96 bits/frame -> 2 frames -> 4 cycles.
+	if got := WL64.SerializationCycles(128, 0.75); got != 4 {
+		t.Errorf("64WL@75%% = %d cycles, want 4", got)
+	}
+}
+
+func TestSerializationResponsePacket(t *testing.T) {
+	// A 640-bit cache-line response at full 64WL: 128 bits/frame -> 5
+	// frames -> 10 cycles.
+	if got := WL64.SerializationCycles(640, 1.0); got != 10 {
+		t.Errorf("64WL response = %d cycles, want 10", got)
+	}
+}
+
+func TestSerializationMonotoneProperty(t *testing.T) {
+	// More wavelengths or more share never makes serialization slower.
+	f := func(rawBits uint16, rawShare uint8) bool {
+		bits := int(rawBits%2048) + 1
+		share := 0.25 + 0.75*float64(rawShare)/255
+		prev := math.MaxInt
+		for _, s := range States() {
+			c := s.SerializationCycles(bits, share)
+			if c > prev || c < FrameCycles {
+				return false
+			}
+			prev = c
+		}
+		full := WL64.SerializationCycles(bits, 1.0)
+		quarter := WL64.SerializationCycles(bits, share)
+		return quarter >= full
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializationPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { WL64.SerializationCycles(0, 1) },
+		func() { WL64.SerializationCycles(128, 0) },
+		func() { WL64.SerializationCycles(128, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitsPerCycle(t *testing.T) {
+	if WL64.BitsPerCycle() != 64 {
+		t.Errorf("64WL = %v bits/cycle, want 64", WL64.BitsPerCycle())
+	}
+	if WL8.BitsPerCycle() != 8 {
+		t.Errorf("8WL = %v bits/cycle, want 8", WL8.BitsPerCycle())
+	}
+}
+
+func TestNextPrevClamp(t *testing.T) {
+	if WL64.Next() != WL64 {
+		t.Error("Next should saturate at WL64")
+	}
+	if WL32.Next() != WL48 {
+		t.Error("WL32.Next() != WL48")
+	}
+	if WL8.Prev(true) != WL8 {
+		t.Error("Prev should saturate at WL8 when allowed")
+	}
+	if WL16.Prev(false) != WL16 {
+		t.Error("Prev should floor at WL16 when 8WL disallowed")
+	}
+	if WL32.Prev(true) != WL16 {
+		t.Error("WL32.Prev != WL16")
+	}
+	if WL8.Clamp(false) != WL16 {
+		t.Error("Clamp should raise WL8 to WL16")
+	}
+	if WL8.Clamp(true) != WL8 {
+		t.Error("Clamp should keep WL8 when allowed")
+	}
+	if WL48.Clamp(false) != WL48 {
+		t.Error("Clamp should not touch higher states")
+	}
+}
+
+func TestStatesOrdering(t *testing.T) {
+	ss := States()
+	if len(ss) != int(NumStates) {
+		t.Fatalf("States() has %d entries, want %d", len(ss), NumStates)
+	}
+	for i := 1; i < len(ss); i++ {
+		if ss[i].LaserPowerW() <= ss[i-1].LaserPowerW() {
+			t.Error("States() not ordered by increasing power")
+		}
+	}
+}
+
+func TestTableVLossBudget(t *testing.T) {
+	l := TableV()
+	total := l.TotalLossDB()
+	// 1 + 3 + 1 + 0.2 + 1.024 + 1.5 + 0.1 = 7.824 dB
+	want := 1 + 3*1.0 + 1 + 0.2 + 1e-3*1024 + 1.5 + 0.1
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("total loss = %v dB, want %v", total, want)
+	}
+	if total < 5 || total > 15 {
+		t.Errorf("loss budget %v dB implausible for an on-chip link", total)
+	}
+}
+
+func TestRequiredLaserOutput(t *testing.T) {
+	l := TableV()
+	dbm := l.RequiredLaserOutputDBm()
+	if dbm <= l.ReceiverSensDBm {
+		t.Error("required output must exceed receiver sensitivity")
+	}
+	mw := l.RequiredLaserOutputMW()
+	if mw <= 0 || mw > 10 {
+		t.Errorf("required output %v mW implausible", mw)
+	}
+	// Cross-check dBm <-> mW conversion.
+	back := 10 * math.Log10(mw)
+	if math.Abs(back-dbm) > 1e-9 {
+		t.Errorf("dBm/mW roundtrip mismatch: %v vs %v", back, dbm)
+	}
+}
+
+func TestWallPlugEfficiencyPlausible(t *testing.T) {
+	eff := TableV().WallPlugEfficiency()
+	if eff <= 0 || eff > 0.10 {
+		t.Errorf("implied wall-plug efficiency %.4f outside (0, 10%%]", eff)
+	}
+}
+
+func TestPropagationCycles(t *testing.T) {
+	// 30 mm at 10.45 ps/mm = 313.5 ps; at 2 GHz (500 ps cycle) that is 1
+	// cycle.
+	if got := PropagationCycles(30, 2e9); got != 1 {
+		t.Errorf("30mm propagation = %d cycles, want 1", got)
+	}
+	// 60 mm = 627 ps -> 2 cycles.
+	if got := PropagationCycles(60, 2e9); got != 2 {
+		t.Errorf("60mm propagation = %d cycles, want 2", got)
+	}
+	if got := PropagationCycles(0.1, 2e9); got != 1 {
+		t.Errorf("tiny distance should still cost 1 cycle, got %d", got)
+	}
+}
+
+func TestRingsPerRouter(t *testing.T) {
+	// 17 routers, 64 WL: 64 modulators + 16*64 receivers = 1088.
+	if got := RingsPerRouter(17, 64); got != 1088 {
+		t.Errorf("rings = %d, want 1088", got)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if WL64.String() != "64WL" || WL8.String() != "8WL" {
+		t.Error("state strings wrong")
+	}
+}

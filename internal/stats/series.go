@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is an append-only time series of (cycle, value) samples, used
+// for per-window timelines (wavelength state, throughput, occupancy).
+type Series struct {
+	name   string
+	cycles []int64
+	values []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{name: name}
+}
+
+// Name returns the series label.
+func (s *Series) Name() string { return s.name }
+
+// Append adds a sample; cycles must be non-decreasing.
+func (s *Series) Append(cycle int64, value float64) {
+	if n := len(s.cycles); n > 0 && cycle < s.cycles[n-1] {
+		panic(fmt.Sprintf("stats: series %q cycle %d before %d", s.name, cycle, s.cycles[n-1]))
+	}
+	s.cycles = append(s.cycles, cycle)
+	s.values = append(s.values, value)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.values) }
+
+// At returns sample i.
+func (s *Series) At(i int) (int64, float64) { return s.cycles[i], s.values[i] }
+
+// Values returns a copy of the value vector.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// Min and Max return the value range (0,0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 when empty).
+func (s *Series) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average value (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Downsample returns a new series with at most n points, each the mean of
+// its bucket. It returns the receiver when already small enough.
+func (s *Series) Downsample(n int) *Series {
+	if n <= 0 {
+		panic("stats: Downsample to non-positive size")
+	}
+	if len(s.values) <= n {
+		return s
+	}
+	out := NewSeries(s.name)
+	per := float64(len(s.values)) / float64(n)
+	for b := 0; b < n; b++ {
+		lo := int(float64(b) * per)
+		hi := int(float64(b+1) * per)
+		if hi > len(s.values) {
+			hi = len(s.values)
+		}
+		if lo >= hi {
+			continue
+		}
+		var sum float64
+		for _, v := range s.values[lo:hi] {
+			sum += v
+		}
+		out.Append(s.cycles[lo], sum/float64(hi-lo))
+	}
+	return out
+}
+
+// sparkRunes are the eight block heights of a terminal sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as a unicode sparkline of at most width
+// runes, scaled between lo and hi (pass equal values to autoscale).
+func (s *Series) Sparkline(width int, lo, hi float64) string {
+	if width <= 0 || s.Len() == 0 {
+		return ""
+	}
+	ds := s.Downsample(width)
+	if lo >= hi {
+		lo, hi = ds.Min(), ds.Max()
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	var b strings.Builder
+	for _, v := range ds.values {
+		f := (v - lo) / (hi - lo)
+		idx := int(math.Round(f * float64(len(sparkRunes)-1)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// HBar renders a labelled horizontal bar scaled to max.
+func HBar(label string, value, max float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	frac := 0.0
+	if max > 0 {
+		frac = value / max
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(math.Round(frac * float64(width)))
+	return fmt.Sprintf("%-26s %s%s %8.2f",
+		label, strings.Repeat("█", filled), strings.Repeat("·", width-filled), value)
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("wl")
+	if s.Name() != "wl" || s.Len() != 0 {
+		t.Fatal("empty series wrong")
+	}
+	s.Append(0, 64)
+	s.Append(500, 32)
+	s.Append(1000, 8)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	c, v := s.At(1)
+	if c != 500 || v != 32 {
+		t.Fatalf("At(1) = %d, %v", c, v)
+	}
+	if s.Min() != 8 || s.Max() != 64 {
+		t.Fatalf("range %v..%v", s.Min(), s.Max())
+	}
+	if got := s.Mean(); got < 34.6 || got > 34.7 {
+		t.Fatalf("mean %v", got)
+	}
+	vals := s.Values()
+	vals[0] = -1
+	if s.values[0] == -1 {
+		t.Fatal("Values must copy")
+	}
+}
+
+func TestSeriesEmptyStats(t *testing.T) {
+	s := NewSeries("x")
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("empty stats should be 0")
+	}
+	if s.Sparkline(10, 0, 0) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+}
+
+func TestSeriesAppendPanicsOnRewind(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Append(50, 2)
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 100; i++ {
+		s.Append(int64(i), float64(i))
+	}
+	d := s.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled len = %d", d.Len())
+	}
+	// First bucket averages 0..9 -> 4.5; last averages 90..99 -> 94.5.
+	if _, v := d.At(0); v != 4.5 {
+		t.Fatalf("bucket 0 = %v", v)
+	}
+	if _, v := d.At(9); v != 94.5 {
+		t.Fatalf("bucket 9 = %v", v)
+	}
+	// Small series pass through.
+	if s2 := d.Downsample(100); s2 != d {
+		t.Fatal("small series should return receiver")
+	}
+}
+
+func TestDownsamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeries("x").Downsample(0)
+}
+
+func TestDownsampleMeanPreservedProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 20 {
+			return true
+		}
+		s := NewSeries("p")
+		for i, v := range raw {
+			s.Append(int64(i), float64(v))
+		}
+		d := s.Downsample(10)
+		// Bucket means average to within 10% of the overall mean (exact
+		// when buckets are equal-sized).
+		diff := s.Mean() - d.Mean()
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 0.1*(s.Mean()+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 8; i++ {
+		s.Append(int64(i), float64(i))
+	}
+	sp := s.Sparkline(8, 0, 7)
+	if utf8.RuneCountInString(sp) != 8 {
+		t.Fatalf("sparkline runes = %d", utf8.RuneCountInString(sp))
+	}
+	runes := []rune(sp)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("sparkline = %q", sp)
+	}
+	// Monotone input gives non-decreasing glyph heights.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("sparkline not monotone: %q", sp)
+		}
+	}
+}
+
+func TestSparklineAutoscaleAndClamp(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(0, 5)
+	s.Append(1, 5)
+	if sp := s.Sparkline(2, 0, 0); utf8.RuneCountInString(sp) != 2 {
+		t.Fatalf("constant sparkline = %q", sp)
+	}
+	// Values outside the explicit range clamp instead of panicking.
+	s2 := NewSeries("y")
+	s2.Append(0, -10)
+	s2.Append(1, 100)
+	sp := s2.Sparkline(2, 0, 1)
+	runes := []rune(sp)
+	if runes[0] != '▁' || runes[1] != '█' {
+		t.Fatalf("clamped sparkline = %q", sp)
+	}
+	if s2.Sparkline(0, 0, 1) != "" {
+		t.Fatal("zero-width sparkline should be empty")
+	}
+}
+
+func TestHBar(t *testing.T) {
+	full := HBar("x", 10, 10, 20)
+	if !strings.Contains(full, strings.Repeat("█", 20)) {
+		t.Fatalf("full bar = %q", full)
+	}
+	empty := HBar("x", 0, 10, 20)
+	if strings.Contains(empty, "█") {
+		t.Fatalf("empty bar = %q", empty)
+	}
+	half := HBar("x", 5, 10, 20)
+	if !strings.Contains(half, strings.Repeat("█", 10)+"·") {
+		t.Fatalf("half bar = %q", half)
+	}
+	// Degenerate inputs stay in range.
+	if over := HBar("x", 20, 10, 20); !strings.Contains(over, strings.Repeat("█", 20)) {
+		t.Fatalf("over bar = %q", over)
+	}
+	if neg := HBar("x", -5, 10, 20); strings.Contains(neg, "█") {
+		t.Fatalf("neg bar = %q", neg)
+	}
+	if def := HBar("x", 1, 2, 0); def == "" {
+		t.Fatal("default width bar empty")
+	}
+}

@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.Variance()-4) > 1e-12 {
+		t.Fatalf("variance = %v, want 4", s.Variance())
+	}
+	if s.StdDev() != 2 {
+		t.Fatalf("stddev = %v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be zero-valued")
+	}
+}
+
+func TestSummaryMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, x := range clean {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(clean))
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(s.Mean()-mean) < 1e-6*scale &&
+			math.Abs(s.Variance()-naiveVar) < 1e-4*math.Max(1, naiveVar)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Percentile(50) != 50 {
+		t.Fatalf("p50 = %v", h.Percentile(50))
+	}
+	if h.Percentile(99) != 99 {
+		t.Fatalf("p99 = %v", h.Percentile(99))
+	}
+	if h.Percentile(0) != 1 || h.Percentile(100) != 100 {
+		t.Fatalf("p0/p100 = %v/%v", h.Percentile(0), h.Percentile(100))
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramEmptyAndTruncation(t *testing.T) {
+	h := NewHistogram(2)
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should return zeros")
+	}
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	if !h.Truncated() {
+		t.Fatal("expected truncation past limit")
+	}
+	if h.N() != 3 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Mean() != 2 {
+		t.Fatalf("mean should include all samples: %v", h.Mean())
+	}
+}
+
+func TestHistogramInterleavedAddPercentile(t *testing.T) {
+	h := NewHistogram(0)
+	h.Add(5)
+	_ = h.Percentile(50)
+	h.Add(1) // must re-sort after adding post-query
+	if h.Percentile(0) != 1 {
+		t.Fatalf("p0 = %v, want 1", h.Percentile(0))
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	var c ClassCounts
+	c.Add(0, 128)
+	c.Add(0, 128)
+	c.Add(1, 640)
+	if c.TotalPackets() != 3 || c.TotalBits() != 896 {
+		t.Fatalf("totals = %d pkts %d bits", c.TotalPackets(), c.TotalBits())
+	}
+	if math.Abs(c.Share(0)-2.0/3.0) > 1e-12 {
+		t.Fatalf("CPU share = %v", c.Share(0))
+	}
+	var empty ClassCounts
+	if empty.Share(0) != 0 {
+		t.Fatal("empty share should be 0")
+	}
+}
+
+func TestResidency(t *testing.T) {
+	r := NewResidency()
+	r.Add(64, 300)
+	r.Add(8, 700)
+	if r.Total() != 1000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if r.Fraction(64) != 0.3 || r.Fraction(8) != 0.7 {
+		t.Fatalf("fractions = %v/%v", r.Fraction(64), r.Fraction(8))
+	}
+	if r.Fraction(32) != 0 {
+		t.Fatal("unseen state should be 0")
+	}
+	keys := r.Keys()
+	if len(keys) != 2 || keys[0] != 8 || keys[1] != 64 {
+		t.Fatalf("keys = %v", keys)
+	}
+	empty := NewResidency()
+	if empty.Fraction(64) != 0 {
+		t.Fatal("empty residency fraction should be 0")
+	}
+}
+
+func TestResidencyFractionsSumToOneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		r := NewResidency()
+		states := []int{8, 16, 32, 48, 64}
+		any := false
+		for i, v := range raw {
+			if v > 0 {
+				r.Add(states[i%len(states)], int64(v))
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		sum := 0.0
+		for _, k := range r.Keys() {
+			sum += r.Fraction(k)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkThroughput(t *testing.T) {
+	n := NewNetwork()
+	n.MeasuredCycles = 1000
+	for i := 0; i < 500; i++ {
+		n.Delivered.Add(0, 128)
+	}
+	if got := n.ThroughputBitsPerCycle(); got != 64 {
+		t.Fatalf("throughput = %v bits/cycle, want 64", got)
+	}
+	if got := n.ThroughputGbps(2e9); got != 128 {
+		t.Fatalf("throughput = %v Gbps, want 128", got)
+	}
+	if got := n.ThroughputPacketsPerCycle(); got != 0.5 {
+		t.Fatalf("pkt throughput = %v, want 0.5", got)
+	}
+	empty := NewNetwork()
+	if empty.ThroughputBitsPerCycle() != 0 || empty.ThroughputPacketsPerCycle() != 0 {
+		t.Fatal("zero-cycle network should report 0 throughput")
+	}
+	if empty.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestNRMSEScorePerfectFit(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if got := NRMSEScore(y, y); got != 1 {
+		t.Fatalf("perfect NRMSE = %v, want 1", got)
+	}
+	if got := R2(y, y); got != 1 {
+		t.Fatalf("perfect R2 = %v, want 1", got)
+	}
+}
+
+func TestNRMSEScoreMeanPredictor(t *testing.T) {
+	target := []float64{1, 2, 3, 4, 5}
+	pred := []float64{3, 3, 3, 3, 3}
+	// Predicting the mean gives RMSE == stddev, so score 0.
+	if got := NRMSEScore(pred, target); math.Abs(got) > 1e-12 {
+		t.Fatalf("mean-predictor NRMSE = %v, want 0", got)
+	}
+	if got := R2(pred, target); math.Abs(got) > 1e-12 {
+		t.Fatalf("mean-predictor R2 = %v, want 0", got)
+	}
+}
+
+func TestNRMSEScoreWorseThanMean(t *testing.T) {
+	target := []float64{1, 2, 3}
+	pred := []float64{30, -10, 50}
+	if got := NRMSEScore(pred, target); got >= 0 {
+		t.Fatalf("terrible predictor should score negative, got %v", got)
+	}
+}
+
+func TestNRMSEConstantTarget(t *testing.T) {
+	target := []float64{5, 5, 5}
+	if got := NRMSEScore([]float64{5, 5, 5}, target); got != 1 {
+		t.Fatalf("constant perfect = %v", got)
+	}
+	if got := NRMSEScore([]float64{6, 5, 5}, target); !math.IsInf(got, -1) {
+		t.Fatalf("constant imperfect = %v, want -inf", got)
+	}
+}
+
+func TestNRMSEPanicsOnMismatch(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NRMSEScore([]float64{1}, []float64{1, 2}) },
+		func() { NRMSEScore(nil, nil) },
+		func() { R2([]float64{1}, []float64{1, 2}) },
+		func() { R2(nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNRMSERelationToR2Property(t *testing.T) {
+	// score = 1 - sqrt(1 - R2) whenever R2 <= 1.
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		pred := make([]float64, n)
+		target := make([]float64, n)
+		spread := false
+		for i := 0; i < n; i++ {
+			pred[i] = float64(raw[i])
+			target[i] = float64(raw[n+i])
+			if target[i] != target[0] {
+				spread = true
+			}
+		}
+		if !spread {
+			return true
+		}
+		r2 := R2(pred, target)
+		score := NRMSEScore(pred, target)
+		return math.Abs(score-(1-math.Sqrt(1-r2))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

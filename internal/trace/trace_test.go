@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{ID: 1, Src: 0, Dst: 16, Class: noc.ClassCPU, Kind: noc.KindRequest, Source: noc.SrcCPUL1D, SizeBits: 128, InjectCycle: 0},
+		{ID: 2, Src: 16, Dst: 0, Class: noc.ClassCPU, Kind: noc.KindResponse, Source: noc.SrcL3, SizeBits: 640, InjectCycle: 30},
+		{ID: 3, Src: 3, Dst: 7, Class: noc.ClassGPU, Kind: noc.KindRequest, Source: noc.SrcGPUL1, SizeBits: 128, InjectCycle: 30},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(ids []uint16, seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		recs := make([]Record, len(ids))
+		cycle := int64(0)
+		for i, id := range ids {
+			cycle += int64(rng.Intn(10))
+			recs[i] = Record{
+				ID:  uint64(id),
+				Src: int32(rng.Intn(17)), Dst: int32(rng.Intn(17)),
+				Class:    noc.Class(rng.Intn(2)),
+				Kind:     noc.Kind(rng.Intn(2)),
+				Source:   noc.Source(rng.Intn(int(noc.NumSources))),
+				SizeBits: int32(128 * (1 + rng.Intn(5))), InjectCycle: cycle,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, recs); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAllRejectsBadMagic(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("NOTATRCE\x01\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadAll(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestReadAllRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write([]byte{9, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadAll(&buf); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestReadAllTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadAll(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Fatal("expected error for truncated trace")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := noc.NewResponse(42, 16, 3, noc.ClassGPU, noc.SrcL3, 100)
+	r := FromPacket(p)
+	q := r.Packet()
+	if q.ID != p.ID || q.Src != p.Src || q.Dst != p.Dst || q.Class != p.Class ||
+		q.Kind != p.Kind || q.Source != p.Source || q.SizeBits != p.SizeBits ||
+		q.InjectCycle != p.InjectCycle {
+		t.Fatalf("roundtrip lost fields: %+v vs %+v", p, q)
+	}
+}
+
+type fakeTarget struct {
+	pkts   []*noc.Packet
+	reject int // reject first N injections
+}
+
+func (f *fakeTarget) Inject(p *noc.Packet) bool {
+	if f.reject > 0 {
+		f.reject--
+		return false
+	}
+	f.pkts = append(f.pkts, p)
+	return true
+}
+
+func TestRecorderCapturesAccepted(t *testing.T) {
+	target := &fakeTarget{reject: 1}
+	rec := &Recorder{}
+	wrapped := rec.Wrap(target)
+	p1 := noc.NewRequest(1, 0, 1, noc.ClassCPU, noc.SrcCPUL1D, 0)
+	p2 := noc.NewRequest(2, 0, 1, noc.ClassCPU, noc.SrcCPUL1D, 0)
+	if wrapped.Inject(p1) {
+		t.Fatal("first inject should be rejected")
+	}
+	if !wrapped.Inject(p2) {
+		t.Fatal("second inject should pass")
+	}
+	if rec.Len() != 1 || rec.Records()[0].ID != 2 {
+		t.Fatalf("recorder captured %v", rec.Records())
+	}
+}
+
+func TestPlayerReplaysAtCycles(t *testing.T) {
+	target := &fakeTarget{}
+	player, err := NewPlayer(target, sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	player.Tick(0)
+	if len(target.pkts) != 1 {
+		t.Fatalf("cycle 0: %d packets", len(target.pkts))
+	}
+	player.Tick(15)
+	if len(target.pkts) != 1 {
+		t.Fatal("nothing due at cycle 15")
+	}
+	player.Tick(30)
+	if len(target.pkts) != 3 {
+		t.Fatalf("cycle 30: %d packets", len(target.pkts))
+	}
+	if !player.Done() {
+		t.Fatal("player should be done")
+	}
+	if player.Injected != 3 {
+		t.Fatalf("injected = %d", player.Injected)
+	}
+}
+
+func TestPlayerRetriesOnBackpressure(t *testing.T) {
+	target := &fakeTarget{reject: 2}
+	player, _ := NewPlayer(target, sampleRecords())
+	player.Tick(0) // rejected
+	if player.Done() {
+		t.Fatal("should not be done with pending packet")
+	}
+	player.Tick(1) // rejected again
+	player.Tick(2) // succeeds
+	if len(target.pkts) != 1 {
+		t.Fatalf("packets = %d", len(target.pkts))
+	}
+	player.Tick(30)
+	if !player.Done() || player.Injected != 3 {
+		t.Fatalf("done=%v injected=%d", player.Done(), player.Injected)
+	}
+}
+
+func TestPlayerPreservesOrderUnderStall(t *testing.T) {
+	target := &fakeTarget{reject: 1}
+	recs := []Record{
+		{ID: 1, Src: 0, Dst: 1, SizeBits: 128, InjectCycle: 0},
+		{ID: 2, Src: 0, Dst: 1, SizeBits: 128, InjectCycle: 0},
+		{ID: 3, Src: 0, Dst: 1, SizeBits: 128, InjectCycle: 1},
+	}
+	player, _ := NewPlayer(target, recs)
+	player.Tick(0)
+	player.Tick(1)
+	player.Tick(2)
+	if len(target.pkts) != 3 {
+		t.Fatalf("packets = %d", len(target.pkts))
+	}
+	for i, p := range target.pkts {
+		if p.ID != uint64(i+1) {
+			t.Fatalf("order violated: %v", target.pkts)
+		}
+	}
+}
+
+func TestNewPlayerRejectsUnsorted(t *testing.T) {
+	recs := []Record{{InjectCycle: 10}, {InjectCycle: 5}}
+	if _, err := NewPlayer(&fakeTarget{}, recs); err == nil {
+		t.Fatal("expected error for unsorted records")
+	}
+}

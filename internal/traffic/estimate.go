@@ -1,0 +1,181 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/noc"
+)
+
+// InjectionEvent is the minimal view of a trace record the estimator
+// needs (the trace package's Record satisfies it via adaptation to avoid
+// an import cycle).
+type InjectionEvent struct {
+	Cycle int64
+	Class noc.Class
+	Kind  noc.Kind
+	Dst   int
+}
+
+// EstimateProfile fits a benchmark Profile to an observed injection
+// stream for one traffic class — the calibration path from a real trace
+// (e.g. captured from Multi2Sim, or recorded by internal/trace) to this
+// repository's synthetic substrate. The two-state burst process is
+// recovered by thresholding windowed rates at the midpoint between the
+// low and high rate clusters:
+//
+//   - BaseRate / BurstRate: means of the below/above-threshold windows,
+//   - BurstEntry / BurstExit: transition frequencies of the thresholded
+//     window sequence, converted to per-cycle probabilities,
+//   - L3Fraction, WriteFraction: direct event-share estimates.
+//
+// routers is the number of injecting routers (rates are per router per
+// cycle); window is the aggregation granularity in cycles.
+func EstimateProfile(name string, class noc.Class, events []InjectionEvent, routers int, window int64, l3Router int) (Profile, error) {
+	if routers <= 0 || window <= 0 {
+		return Profile{}, fmt.Errorf("traffic: invalid estimator geometry")
+	}
+	var filtered []InjectionEvent
+	for _, e := range events {
+		if e.Class == class {
+			filtered = append(filtered, e)
+		}
+	}
+	if len(filtered) < 10 {
+		return Profile{}, fmt.Errorf("traffic: only %d events for class %v", len(filtered), class)
+	}
+	sort.Slice(filtered, func(i, j int) bool { return filtered[i].Cycle < filtered[j].Cycle })
+
+	first := filtered[0].Cycle
+	last := filtered[len(filtered)-1].Cycle
+	nWindows := int((last-first)/window) + 1
+	counts := make([]float64, nWindows)
+	var toL3, writebacks float64
+	for _, e := range filtered {
+		counts[(e.Cycle-first)/window]++
+		if e.Dst == l3Router {
+			toL3++
+		}
+		if e.Kind == noc.KindResponse {
+			writebacks++
+		}
+	}
+	// Per-router per-cycle rates per window.
+	rates := make([]float64, nWindows)
+	denom := float64(routers) * float64(window)
+	for i, c := range counts {
+		rates[i] = c / denom
+	}
+
+	// Two-cluster split: threshold halfway between the min and max rate,
+	// refined once by recomputing cluster means (1D 2-means, two
+	// iterations suffice for bimodal data).
+	lo, hi := minMax(rates)
+	if hi == lo {
+		return Profile{}, fmt.Errorf("traffic: rate sequence is constant; no burst structure to fit")
+	}
+	threshold := (lo + hi) / 2
+	for iter := 0; iter < 2; iter++ {
+		loMean, hiMean, _, _ := split(rates, threshold)
+		threshold = (loMean + hiMean) / 2
+	}
+	baseRate, burstRate, nLo, nHi := split(rates, threshold)
+	if nLo == 0 || nHi == 0 {
+		return Profile{}, fmt.Errorf("traffic: burst split degenerate (%d low / %d high windows)", nLo, nHi)
+	}
+
+	// Transition frequencies of the thresholded sequence.
+	var entries, exits, loWindows, hiWindows float64
+	prevHigh := rates[0] > threshold
+	for _, r := range rates {
+		high := r > threshold
+		if high {
+			hiWindows++
+		} else {
+			loWindows++
+		}
+		if high && !prevHigh {
+			entries++
+		}
+		if !high && prevHigh {
+			exits++
+		}
+		prevHigh = high
+	}
+	// Convert per-window transition odds to per-cycle probabilities:
+	// P(cycle) = 1 - (1 - P(window))^(1/window).
+	perCycle := func(transitions, windows float64) float64 {
+		if windows == 0 {
+			return 0
+		}
+		pWindow := transitions / windows
+		if pWindow >= 1 {
+			pWindow = 0.99
+		}
+		return 1 - math.Pow(1-pWindow, 1/float64(window))
+	}
+	entry := perCycle(entries, loWindows)
+	exit := perCycle(exits, hiWindows)
+	if exit <= 0 {
+		exit = 1 / float64(window*int64(nWindows))
+	}
+
+	p := Profile{
+		Name:           name,
+		Class:          class,
+		BaseRate:       baseRate,
+		BurstRate:      math.Max(burstRate, baseRate),
+		BurstEntry:     entry,
+		BurstExit:      exit,
+		RampCycles:     int(window / 2),
+		L3Fraction:     toL3 / float64(len(filtered)),
+		MemFraction:    0.3, // not observable from injections alone
+		WriteFraction:  writebacks / float64(len(filtered)),
+		MaxOutstanding: 4,
+		MaxPending:     64,
+	}
+	if class == noc.ClassGPU {
+		p.MaxOutstanding = 320
+		p.MaxPending = 2048
+		p.RampCycles = int(window)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("traffic: estimated profile invalid: %w", err)
+	}
+	return p, nil
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// split returns the means and counts of values below/above the threshold.
+func split(xs []float64, threshold float64) (loMean, hiMean float64, nLo, nHi int) {
+	var loSum, hiSum float64
+	for _, x := range xs {
+		if x > threshold {
+			hiSum += x
+			nHi++
+		} else {
+			loSum += x
+			nLo++
+		}
+	}
+	if nLo > 0 {
+		loMean = loSum / float64(nLo)
+	}
+	if nHi > 0 {
+		hiMean = hiSum / float64(nHi)
+	}
+	return loMean, hiMean, nLo, nHi
+}

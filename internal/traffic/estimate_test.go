@@ -1,0 +1,132 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// synthEvents generates an injection stream from a known two-state
+// process so the estimator's recovery can be checked against ground
+// truth.
+func synthEvents(rng *sim.RNG, base, burst, entry, exit float64, cycles int64, routers int) []InjectionEvent {
+	var events []InjectionEvent
+	bursting := false
+	for c := int64(0); c < cycles; c++ {
+		if bursting {
+			if rng.Bernoulli(exit) {
+				bursting = false
+			}
+		} else if rng.Bernoulli(entry) {
+			bursting = true
+		}
+		rate := base
+		if bursting {
+			rate = burst
+		}
+		for r := 0; r < routers; r++ {
+			n := rng.Poisson(rate)
+			for i := 0; i < n; i++ {
+				dst := config.L3RouterID
+				if rng.Bernoulli(0.2) {
+					dst = rng.Intn(config.NumClusterRouters)
+				}
+				kind := noc.KindRequest
+				if rng.Bernoulli(0.15) {
+					kind = noc.KindResponse
+				}
+				events = append(events, InjectionEvent{
+					Cycle: c, Class: noc.ClassGPU, Kind: kind, Dst: dst,
+				})
+			}
+		}
+	}
+	return events
+}
+
+func TestEstimateProfileRecoversRates(t *testing.T) {
+	rng := sim.NewRNG(77)
+	const base, burst = 0.01, 0.3
+	events := synthEvents(rng, base, burst, 0.0005, 0.002, 120000, 16)
+	p, err := EstimateProfile("synth", noc.ClassGPU, events, 16, 500, config.L3RouterID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.BaseRate-base) > 0.02 {
+		t.Errorf("base rate %v, want ~%v", p.BaseRate, base)
+	}
+	if math.Abs(p.BurstRate-burst) > 0.1 {
+		t.Errorf("burst rate %v, want ~%v", p.BurstRate, burst)
+	}
+	// Duty cycle within a factor of ~2 of ground truth (0.0005/0.0025 = 0.2).
+	gotDuty := p.BurstEntry / (p.BurstEntry + p.BurstExit)
+	if gotDuty < 0.08 || gotDuty > 0.45 {
+		t.Errorf("duty %v, want ~0.2", gotDuty)
+	}
+	// L3 fraction ~0.8, writeback fraction ~0.15.
+	if math.Abs(p.L3Fraction-0.8) > 0.05 {
+		t.Errorf("L3 fraction %v", p.L3Fraction)
+	}
+	if math.Abs(p.WriteFraction-0.15) > 0.05 {
+		t.Errorf("write fraction %v", p.WriteFraction)
+	}
+	if p.Class != noc.ClassGPU || p.MaxOutstanding != 320 {
+		t.Errorf("GPU defaults not applied: %+v", p)
+	}
+}
+
+func TestEstimateProfileValidatesInput(t *testing.T) {
+	if _, err := EstimateProfile("x", noc.ClassCPU, nil, 16, 500, 16); err == nil {
+		t.Fatal("empty events accepted")
+	}
+	if _, err := EstimateProfile("x", noc.ClassCPU, nil, 0, 500, 16); err == nil {
+		t.Fatal("zero routers accepted")
+	}
+	if _, err := EstimateProfile("x", noc.ClassCPU, nil, 16, 0, 16); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	// Constant-rate stream has no burst structure.
+	var flat []InjectionEvent
+	for c := int64(0); c < 50000; c += 100 {
+		flat = append(flat, InjectionEvent{Cycle: c, Class: noc.ClassCPU, Kind: noc.KindRequest, Dst: 16})
+	}
+	if _, err := EstimateProfile("x", noc.ClassCPU, flat, 16, 500, 16); err == nil {
+		t.Fatal("constant stream should not fit a burst process")
+	}
+}
+
+func TestEstimateProfileFiltersClass(t *testing.T) {
+	rng := sim.NewRNG(5)
+	events := synthEvents(rng, 0.01, 0.2, 0.001, 0.003, 40000, 16)
+	// All events are GPU; asking for CPU must fail on sample count.
+	if _, err := EstimateProfile("x", noc.ClassCPU, events, 16, 500, config.L3RouterID); err == nil {
+		t.Fatal("wrong-class estimation should fail")
+	}
+}
+
+func TestEstimatedProfileDrivesWorkload(t *testing.T) {
+	// Closing the loop: an estimated profile must be usable as a real
+	// workload generator.
+	rng := sim.NewRNG(9)
+	events := synthEvents(rng, 0.005, 0.25, 0.0004, 0.002, 80000, 16)
+	gpuProfile, err := EstimateProfile("estimated", noc.ClassGPU, events, 16, 500, config.L3RouterID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := Pair{CPU: CPUProfiles()[0], GPU: gpuProfile}
+	engine := sim.NewEngine()
+	sink := &sinkTarget{}
+	w, err := NewWorkload(engine, sink, pair, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartMeasurement()
+	engine.Register(w)
+	engine.Run(20000)
+	if w.Injected.Packets[1] == 0 {
+		t.Fatal("estimated profile generated no GPU traffic")
+	}
+}

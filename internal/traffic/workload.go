@@ -1,0 +1,335 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Service latencies in network cycles for the memory-side components that
+// answer requests.
+const (
+	// L3HitCycles is the shared L3 lookup latency.
+	L3HitCycles = 24
+	// MemExtraCycles is the additional main-memory latency on an L3 miss.
+	MemExtraCycles = 120
+	// RemoteL2Cycles is a peer cluster's L2 snoop/service latency.
+	RemoteL2Cycles = 12
+)
+
+// Target is the network under test: it accepts packets at their source
+// router. Inject returns false when the router's input buffer cannot take
+// the packet this cycle; the workload retries.
+type Target interface {
+	Inject(p *noc.Packet) bool
+}
+
+// generator drives one traffic class at one cluster router: a two-state
+// Markov-modulated Poisson demand process in front of a bounded MSHR
+// window.
+type generator struct {
+	router  int
+	profile Profile
+	rng     *sim.RNG
+
+	bursting    bool
+	level       float64 // burst intensity in [0,1], ramping up/down
+	pending     int     // demands waiting for an MSHR slot
+	outstanding int     // requests in flight awaiting responses
+	shed        uint64
+}
+
+// tickDemand advances the burst chain and returns this cycle's new
+// demands. Bursts ramp to full intensity over RampCycles (kernels
+// announce themselves through partial activity) and collapse twice as
+// fast when they end.
+func (g *generator) tickDemand() int {
+	if g.bursting {
+		if g.rng.Bernoulli(g.profile.BurstExit) {
+			g.bursting = false
+		}
+	} else if g.rng.Bernoulli(g.profile.BurstEntry) {
+		g.bursting = true
+	}
+	if g.profile.RampCycles == 0 {
+		if g.bursting {
+			g.level = 1
+		} else {
+			g.level = 0
+		}
+	} else {
+		step := 1 / float64(g.profile.RampCycles)
+		if g.bursting {
+			g.level += step
+			if g.level > 1 {
+				g.level = 1
+			}
+		} else {
+			g.level -= 2 * step
+			if g.level < 0 {
+				g.level = 0
+			}
+		}
+	}
+	rate := g.profile.BaseRate + g.level*(g.profile.BurstRate-g.profile.BaseRate)
+	return g.rng.Poisson(rate)
+}
+
+// Workload wires a benchmark pair onto a network target: it owns the 32
+// per-router per-class generators, schedules memory-side responses through
+// the engine, releases MSHR credits on response delivery, and tallies the
+// Figure 4 injection breakdown.
+type Workload struct {
+	engine *sim.Engine
+	target Target
+	pair   Pair
+
+	gens   [config.NumClusterRouters][noc.NumClasses]*generator
+	rng    *sim.RNG
+	nextID uint64
+
+	// respQ holds service-complete responses waiting for buffer space at
+	// their source router, drained FIFO each cycle. Index is the
+	// response's source router (clusters and L3).
+	respQ [config.NumRouters][noc.NumClasses][]*noc.Packet
+
+	measuring bool
+	// Injected counts packets accepted by the network during
+	// measurement (Figure 4 numerator).
+	Injected stats.ClassCounts
+	// Retired counts requests whose response came back.
+	Retired uint64
+	// Shed counts demands dropped because the pending queue was full
+	// (core stall).
+	Shed uint64
+}
+
+// NewWorkload builds the generator set for a benchmark pair. The caller
+// must register the returned workload with the engine before the network
+// so demand is injected ahead of router arbitration each cycle.
+func NewWorkload(engine *sim.Engine, target Target, pair Pair, seed uint64) (*Workload, error) {
+	if err := pair.CPU.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pair.GPU.Validate(); err != nil {
+		return nil, err
+	}
+	if pair.CPU.Class != noc.ClassCPU || pair.GPU.Class != noc.ClassGPU {
+		return nil, fmt.Errorf("traffic: pair %s has mismatched classes", pair.Name())
+	}
+	w := &Workload{engine: engine, target: target, pair: pair, rng: sim.NewRNG(seed)}
+	for r := 0; r < config.NumClusterRouters; r++ {
+		w.gens[r][noc.ClassCPU] = &generator{router: r, profile: pair.CPU, rng: w.rng.Fork()}
+		w.gens[r][noc.ClassGPU] = &generator{router: r, profile: pair.GPU, rng: w.rng.Fork()}
+	}
+	return w, nil
+}
+
+// StartMeasurement begins counting injections (end of warmup).
+func (w *Workload) StartMeasurement() { w.measuring = true }
+
+// StopMeasurement freezes the counts.
+func (w *Workload) StopMeasurement() { w.measuring = false }
+
+// Tick first drains queued responses, then generates demand and injects
+// as many packets as credits and buffer space allow.
+func (w *Workload) Tick(cycle int64) {
+	w.drainResponses(cycle)
+	for r := 0; r < config.NumClusterRouters; r++ {
+		for class := 0; class < noc.NumClasses; class++ {
+			g := w.gens[r][class]
+			demand := g.tickDemand()
+			g.pending += demand
+			if over := g.pending - g.profile.MaxPending; over > 0 {
+				g.pending = g.profile.MaxPending
+				g.shed += uint64(over)
+				if w.measuring {
+					w.Shed += uint64(over)
+				}
+			}
+			w.drain(g, cycle)
+		}
+	}
+}
+
+// drain issues pending demands until an MSHR or buffer limit stops it.
+func (w *Workload) drain(g *generator, cycle int64) {
+	for g.pending > 0 {
+		isWriteback := g.rng.Bernoulli(g.profile.WriteFraction)
+		if !isWriteback && g.outstanding >= g.profile.MaxOutstanding {
+			return
+		}
+		p := w.buildPacket(g, isWriteback, cycle)
+		if !w.target.Inject(p) {
+			return // input buffer full; retry next cycle
+		}
+		g.pending--
+		if !isWriteback {
+			g.outstanding++
+		}
+		if w.measuring {
+			w.Injected.Add(int(p.Class), p.SizeBits)
+		}
+	}
+}
+
+// buildPacket assembles a request or writeback from the generator's
+// profile.
+func (w *Workload) buildPacket(g *generator, writeback bool, cycle int64) *noc.Packet {
+	w.nextID++
+	dst := config.L3RouterID
+	if !g.rng.Bernoulli(g.profile.L3Fraction) {
+		dst = g.rng.Intn(config.NumClusterRouters - 1)
+		if dst >= g.router {
+			dst++ // skip self
+		}
+	}
+	class := g.profile.Class
+	if writeback {
+		p := noc.NewResponse(w.nextID, g.router, dst, class, writebackSource(class), cycle)
+		return p
+	}
+	p := noc.NewRequest(w.nextID, g.router, dst, class, w.requestSource(g), cycle)
+	return p
+}
+
+// requestSource picks the cache level labelling a request, matching the
+// Table III feature taxonomy.
+func (w *Workload) requestSource(g *generator) noc.Source {
+	u := g.rng.Float64()
+	if g.profile.Class == noc.ClassCPU {
+		switch {
+		case u < 0.20:
+			return noc.SrcCPUL1I
+		case u < 0.70:
+			return noc.SrcCPUL1D
+		default:
+			return noc.SrcCPUL2Down
+		}
+	}
+	if u < 0.60 {
+		return noc.SrcGPUL1
+	}
+	return noc.SrcGPUL2Down
+}
+
+// writebackSource labels dirty-eviction traffic as L2-down data.
+func writebackSource(class noc.Class) noc.Source {
+	if class == noc.ClassCPU {
+		return noc.SrcCPUL2Down
+	}
+	return noc.SrcGPUL2Down
+}
+
+// OnDeliver must be called by the network when a packet reaches its
+// destination router. It schedules the memory-side response for requests
+// and releases the MSHR credit when a response returns home.
+func (w *Workload) OnDeliver(p *noc.Packet, cycle int64) {
+	switch {
+	case p.Kind == noc.KindRequest && p.WantsResponse:
+		w.scheduleResponse(p, cycle)
+	case p.Kind == noc.KindResponse && p.Dst < config.NumClusterRouters:
+		// A response arriving home retires the original request, unless
+		// it is writeback traffic terminating at a peer/L3 (handled by
+		// the Dst check plus origin marker below).
+		if g := w.originGenerator(p); g != nil {
+			if g.outstanding > 0 {
+				g.outstanding--
+			}
+			w.Retired++
+		}
+	}
+}
+
+// originGenerator maps a returning response to the generator that issued
+// the request. Responses built by scheduleResponse carry the requester's
+// class and terminate at the requester's router; writebacks never match
+// because their Reply marker is false.
+func (w *Workload) originGenerator(p *noc.Packet) *generator {
+	if !p.Reply {
+		return nil
+	}
+	return w.gens[p.Dst][p.Class]
+}
+
+// scheduleResponse models the destination's service time, then injects the
+// response into the destination router's input buffers (retrying while the
+// buffer is full).
+func (w *Workload) scheduleResponse(req *noc.Packet, cycle int64) {
+	latency := int64(RemoteL2Cycles)
+	src := noc.SrcCPUL2Up
+	if req.Class == noc.ClassGPU {
+		src = noc.SrcGPUL2Up
+	}
+	if req.Dst == config.L3RouterID {
+		latency = L3HitCycles
+		memFrac := w.pair.CPU.MemFraction
+		if req.Class == noc.ClassGPU {
+			memFrac = w.pair.GPU.MemFraction
+		}
+		if w.rng.Bernoulli(memFrac) {
+			latency += MemExtraCycles
+		}
+		src = noc.SrcL3
+	}
+	w.nextID++
+	resp := noc.NewResponse(w.nextID, req.Dst, req.Src, req.Class, src, cycle+latency)
+	resp.Reply = true
+	w.engine.Schedule(latency, func(c int64) {
+		resp.InjectCycle = c
+		w.respQ[resp.Src][resp.Class] = append(w.respQ[resp.Src][resp.Class], resp)
+	})
+}
+
+// drainResponses injects queued responses FIFO, stopping per queue at the
+// first buffer-full rejection.
+func (w *Workload) drainResponses(int64) {
+	for r := 0; r < config.NumRouters; r++ {
+		for class := 0; class < noc.NumClasses; class++ {
+			q := w.respQ[r][class]
+			n := 0
+			for _, p := range q {
+				if !w.target.Inject(p) {
+					break
+				}
+				n++
+				if w.measuring {
+					w.Injected.Add(int(p.Class), p.SizeBits)
+				}
+			}
+			if n > 0 {
+				remaining := copy(q, q[n:])
+				for i := remaining; i < len(q); i++ {
+					q[i] = nil
+				}
+				w.respQ[r][class] = q[:remaining]
+			}
+		}
+	}
+}
+
+// Outstanding returns total in-flight requests across all generators
+// (drain checks in tests).
+func (w *Workload) Outstanding() int {
+	total := 0
+	for r := range w.gens {
+		for c := range w.gens[r] {
+			total += w.gens[r][c].outstanding
+		}
+	}
+	return total
+}
+
+// Pending returns total queued-but-unissued demands.
+func (w *Workload) Pending() int {
+	total := 0
+	for r := range w.gens {
+		for c := range w.gens[r] {
+			total += w.gens[r][c].pending
+		}
+	}
+	return total
+}
