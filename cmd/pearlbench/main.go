@@ -9,13 +9,16 @@
 //	pearlbench -full           # paper scale (16 pairs, 60k cycles)
 //	pearlbench -figure 7       # a single figure
 //	pearlbench -out results.txt
+//	pearlbench -json BENCH_quick.json   # machine-readable timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -23,12 +26,13 @@ import (
 
 func main() {
 	var (
-		full   = flag.Bool("full", false, "paper-scale runs (16 pairs, 60k cycles)")
-		check  = flag.Bool("check", false, "run the machine-verifiable paper-claim shape checks")
-		figure = flag.String("figure", "all", "which artifact: all, t1, t2, t5, 4..11, nrmse, ab-step, ab-bounds, ab-thresholds, ab-window, ab-features, ab-label, extensions, thermal")
-		out    = flag.String("out", "", "also write results to this file")
-		md     = flag.Bool("md", false, "emit a single Markdown report (all artifacts + shape checks)")
-		seed   = flag.Uint64("seed", 2018, "experiment seed")
+		full    = flag.Bool("full", false, "paper-scale runs (16 pairs, 60k cycles)")
+		check   = flag.Bool("check", false, "run the machine-verifiable paper-claim shape checks")
+		figure  = flag.String("figure", "all", "which artifact: all, t1, t2, t5, 4..11, nrmse, ab-step, ab-bounds, ab-thresholds, ab-window, ab-features, ab-label, extensions, thermal")
+		out     = flag.String("out", "", "also write results to this file")
+		jsonOut = flag.String("json", "", "write machine-readable per-artifact benchmark records (name, iters, ns/op, bytes/op) to this file")
+		md      = flag.Bool("md", false, "emit a single Markdown report (all artifacts + shape checks)")
+		seed    = flag.Uint64("seed", 2018, "experiment seed")
 	)
 	flag.Parse()
 
@@ -68,13 +72,38 @@ func main() {
 		}
 		return
 	}
-	if err := run(w, opts, *figure); err != nil {
+	if err := run(w, opts, *figure, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "pearlbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, opts experiments.Options, figure string) error {
+// benchRecord is one artifact's machine-readable timing, mirroring the
+// fields of a Go testing.B result so perf trajectories can be tracked
+// across commits.
+type benchRecord struct {
+	Name       string  `json:"name"`
+	Iters      int     `json:"iters"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp uint64  `json:"bytes_per_op"`
+}
+
+// writeBenchJSON writes the records as an indented JSON array.
+func writeBenchJSON(path string, records []benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(w io.Writer, opts experiments.Options, figure, jsonOut string) error {
 	suite := experiments.NewSuite(opts)
 	artifacts := []struct {
 		key string
@@ -102,21 +131,38 @@ func run(w io.Writer, opts experiments.Options, figure string) error {
 		{"thermal", suite.ThermalStudy},
 	}
 	matched := false
+	var bench []benchRecord
 	for _, a := range artifacts {
 		if figure != "all" && figure != a.key {
 			continue
 		}
 		matched = true
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		tbl, err := a.fn()
 		if err != nil {
 			return fmt.Errorf("artifact %s: %w", a.key, err)
 		}
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		fmt.Fprintln(w, tbl)
-		fmt.Fprintf(w, "(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "(generated in %v)\n\n", elapsed.Round(time.Millisecond))
+		bench = append(bench, benchRecord{
+			Name:       "artifact_" + a.key,
+			Iters:      1,
+			NsPerOp:    float64(elapsed.Nanoseconds()),
+			BytesPerOp: after.TotalAlloc - before.TotalAlloc,
+		})
 	}
 	if !matched {
 		return fmt.Errorf("unknown artifact %q", figure)
+	}
+	if jsonOut != "" {
+		if err := writeBenchJSON(jsonOut, bench); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonOut, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,89 @@
+// Command pearld is the PEARL simulation-as-a-service daemon: a JSON
+// HTTP API over a bounded job queue, a worker pool of concurrent
+// simulations, a content-addressed result cache and a live metrics
+// endpoint. See the README's "pearld" section for the API walkthrough.
+//
+// Usage:
+//
+//	pearld                         # listen on :8080 with GOMAXPROCS workers
+//	pearld -addr :9000 -workers 8 -queue 256 -cache 4096 -timeout 2m
+//
+// SIGINT/SIGTERM starts a graceful drain: intake stops (503), queued
+// jobs are cancelled, in-flight simulations finish (bounded by
+// -drain-grace), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "bounded job-queue depth")
+		cacheCap   = flag.Int("cache", 1024, "result-cache capacity (entries, LRU)")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
+		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *cacheCap, *timeout, *drainGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "pearld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cacheCap int, timeout, drainGrace time.Duration) error {
+	daemon := server.New(server.Options{
+		Workers:        workers,
+		QueueDepth:     queue,
+		CacheCapacity:  cacheCap,
+		DefaultTimeout: timeout,
+	})
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           daemon,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("pearld listening on %s", addr)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("pearld: %v received, draining (grace %v)", s, drainGrace)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	drainErr := daemon.Shutdown(ctx)
+	if drainErr != nil {
+		log.Printf("pearld: drain incomplete, in-flight jobs force-cancelled: %v", drainErr)
+	} else {
+		log.Printf("pearld: drained cleanly")
+	}
+	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

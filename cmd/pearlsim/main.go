@@ -73,7 +73,7 @@ func run(configName, cpuBench, gpuBench string, cycles, warmup int64, seed uint6
 		return nil
 	}
 
-	cfg, err := configByName(configName)
+	cfg, err := config.ByName(configName)
 	if err != nil {
 		return err
 	}
@@ -176,37 +176,6 @@ func runTimeline(cfg config.Config, pair traffic.Pair, opts experiments.Options,
 }
 
 func warmupOf(opts experiments.Options) int64 { return opts.WarmupCycles }
-
-func configByName(name string) (config.Config, error) {
-	switch strings.ToLower(name) {
-	case "pearl-dyn":
-		return config.PEARLDyn(), nil
-	case "pearl-fcfs":
-		return config.PEARLFCFS(), nil
-	case "static-48":
-		return config.StaticWL(48), nil
-	case "static-32":
-		return config.StaticWL(32), nil
-	case "static-16":
-		return config.StaticWL(16), nil
-	case "static-8":
-		return config.StaticWL(8), nil
-	case "dyn-rw500":
-		return config.DynRW(500), nil
-	case "dyn-rw2000":
-		return config.DynRW(2000), nil
-	case "ml-rw500":
-		return config.MLRW(500, true), nil
-	case "ml-rw500-no8wl":
-		return config.MLRW(500, false), nil
-	case "ml-rw1000":
-		return config.MLRW(1000, true), nil
-	case "ml-rw2000":
-		return config.MLRW(2000, true), nil
-	default:
-		return config.Config{}, fmt.Errorf("unknown configuration %q", name)
-	}
-}
 
 func report(res experiments.Result) {
 	m := res.Metrics

@@ -1,0 +1,42 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// CanonicalString renders every field of the configuration in a fixed
+// order with full float precision, so two Configs produce the same
+// string iff they would build identical networks. Field names are
+// spelled out (rather than relying on struct layout) so the encoding is
+// stable across refactors that reorder fields; adding a field requires
+// extending this list, which the round-trip test enforces by reflection.
+func (c Config) CanonicalString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bandwidth=%d\n", int(c.Bandwidth))
+	fmt.Fprintf(&b, "power=%d\n", int(c.Power))
+	fmt.Fprintf(&b, "static_wavelengths=%d\n", c.StaticWavelengths)
+	fmt.Fprintf(&b, "reservation_window=%d\n", c.ReservationWindow)
+	fmt.Fprintf(&b, "allow_8wl=%t\n", c.Allow8WL)
+	fmt.Fprintf(&b, "cpu_buffer_slots=%d\n", c.CPUBufferSlots)
+	fmt.Fprintf(&b, "gpu_buffer_slots=%d\n", c.GPUBufferSlots)
+	fmt.Fprintf(&b, "cpu_upper_bound=%x\n", c.CPUUpperBound)
+	fmt.Fprintf(&b, "gpu_upper_bound=%x\n", c.GPUUpperBound)
+	fmt.Fprintf(&b, "bandwidth_step=%x\n", c.BandwidthStep)
+	fmt.Fprintf(&b, "thresholds=%x,%x,%x,%x\n",
+		c.Thresholds.Lower, c.Thresholds.MidLower, c.Thresholds.MidUpper, c.Thresholds.Upper)
+	fmt.Fprintf(&b, "laser_turn_on_ns=%x\n", c.LaserTurnOnNs)
+	fmt.Fprintf(&b, "feature_offset_cycles=%d\n", c.FeatureOffsetCycles)
+	fmt.Fprintf(&b, "warmup_cycles=%d\n", c.WarmupCycles)
+	fmt.Fprintf(&b, "measure_cycles=%d\n", c.MeasureCycles)
+	return b.String()
+}
+
+// Hash returns a short hex digest of the canonical string — the
+// config component of pearld's content-addressed result-cache key.
+func (c Config) Hash() string {
+	sum := sha256.Sum256([]byte(c.CanonicalString()))
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,89 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHashStableAcrossCalls(t *testing.T) {
+	a, b := Default().Hash(), Default().Hash()
+	if a != b {
+		t.Fatalf("Default().Hash() not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 32 {
+		t.Fatalf("hash length %d, want 32 hex chars", len(a))
+	}
+}
+
+func TestHashDistinguishesConfigs(t *testing.T) {
+	seen := map[string]string{}
+	for _, c := range []Config{
+		Default(),
+		PEARLFCFS(),
+		StaticWL(32),
+		StaticWL(16),
+		DynRW(500),
+		DynRW(2000),
+		MLRW(500, true),
+		MLRW(500, false),
+	} {
+		h := c.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %s and %s", prev, c.Name())
+		}
+		seen[h] = c.Name()
+	}
+}
+
+func TestHashSensitiveToFloatFields(t *testing.T) {
+	a := Default()
+	b := Default()
+	b.Thresholds.Lower += 1e-12
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash ignores tiny threshold change")
+	}
+	c := Default()
+	c.LaserTurnOnNs = 2.0000001
+	if a.Hash() == c.Hash() {
+		t.Fatal("hash ignores tiny laser turn-on change")
+	}
+}
+
+// TestCanonicalStringCoversEveryField guards against a new Config field
+// silently falling out of the cache key: every top-level field must
+// change the canonical string when perturbed.
+func TestCanonicalStringCoversEveryField(t *testing.T) {
+	base := Default()
+	baseStr := base.CanonicalString()
+	rt := reflect.TypeOf(base)
+	if got, want := rt.NumField(), 15; got != want {
+		t.Fatalf("Config has %d fields, canonical encoding written for %d — update CanonicalString and this test", got, want)
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		c := base
+		rv := reflect.ValueOf(&c).Elem().Field(i)
+		switch rv.Kind() {
+		case reflect.Int:
+			rv.SetInt(rv.Int() + 1)
+		case reflect.Bool:
+			rv.SetBool(!rv.Bool())
+		case reflect.Float64:
+			rv.SetFloat(rv.Float() + 0.125)
+		case reflect.Struct: // Thresholds
+			rv.Field(0).SetFloat(rv.Field(0).Float() + 0.125)
+		default:
+			t.Fatalf("unhandled field kind %v for %s", rv.Kind(), rt.Field(i).Name)
+		}
+		if c.CanonicalString() == baseStr {
+			t.Errorf("field %s does not affect CanonicalString", rt.Field(i).Name)
+		}
+	}
+}
+
+func TestCanonicalStringIsLineOriented(t *testing.T) {
+	s := Default().CanonicalString()
+	if !strings.Contains(s, "static_wavelengths=64\n") {
+		t.Fatalf("canonical string missing expected line:\n%s", s)
+	}
+}

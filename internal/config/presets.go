@@ -1,0 +1,43 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// presets maps the CLI / API names to the paper's evaluated
+// configurations. Builders (not values) so each lookup returns a fresh
+// Config.
+var presets = map[string]func() Config{
+	"pearl-dyn":      PEARLDyn,
+	"pearl-fcfs":     PEARLFCFS,
+	"static-48":      func() Config { return StaticWL(48) },
+	"static-32":      func() Config { return StaticWL(32) },
+	"static-16":      func() Config { return StaticWL(16) },
+	"static-8":       func() Config { return StaticWL(8) },
+	"dyn-rw500":      func() Config { return DynRW(500) },
+	"dyn-rw2000":     func() Config { return DynRW(2000) },
+	"ml-rw500":       func() Config { return MLRW(500, true) },
+	"ml-rw500-no8wl": func() Config { return MLRW(500, false) },
+	"ml-rw1000":      func() Config { return MLRW(1000, true) },
+	"ml-rw2000":      func() Config { return MLRW(2000, true) },
+}
+
+// ByName resolves a preset name (case-insensitive) to its Config.
+func ByName(name string) (Config, error) {
+	if build, ok := presets[strings.ToLower(name)]; ok {
+		return build(), nil
+	}
+	return Config{}, fmt.Errorf("unknown configuration %q (known: %s)", name, strings.Join(PresetNames(), ", "))
+}
+
+// PresetNames lists the known preset names in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -10,6 +11,18 @@ import (
 // streams, so parallel evaluation is deterministic per index; only the
 // scheduling order varies. The first error (by index) wins.
 func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallelMapCtx(context.Background(), n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// parallelMapCtx is parallelMap with cooperative cancellation: dispatch
+// stops as soon as any worker fails or ctx is cancelled, so a long sweep
+// does not keep burning cores after its outcome is already decided.
+// Indices already dispatched run to completion; their results are
+// discarded on error. When no worker failed but ctx was cancelled, the
+// context error is returned.
+func parallelMapCtx[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -21,17 +34,30 @@ func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	stop := func() { closeOnce.Do(func() { close(done) }) }
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = fn(ctx, i)
+				if errs[i] != nil {
+					stop()
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -39,6 +65,9 @@ func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

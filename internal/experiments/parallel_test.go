@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParallelMapCollectsInOrder(t *testing.T) {
+	got, err := parallelMap(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelMapStopsDispatchAfterError(t *testing.T) {
+	const n = 10000
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := parallelMap(n, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		// Slow the survivors slightly so the dispatcher would race far
+		// ahead if it ignored the failure.
+		time.Sleep(time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if c := calls.Load(); c >= n {
+		t.Fatalf("all %d indices dispatched despite early error", c)
+	}
+}
+
+func TestParallelMapFirstErrorByIndexWins(t *testing.T) {
+	// Every index fails; the reported error must be the lowest-index one
+	// among those that ran, and index 0 always runs.
+	_, err := parallelMap(8, func(i int) (int, error) {
+		return 0, fmt.Errorf("err-%d", i)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := err.Error(); got != "err-0" {
+		t.Fatalf("err = %q, want err-0 (first by index)", got)
+	}
+}
+
+func TestParallelMapCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	started := make(chan struct{})
+	var once atomic.Bool
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := parallelMapCtx(ctx, 100000, func(ctx context.Context, i int) (int, error) {
+		calls.Add(1)
+		if once.CompareAndSwap(false, true) {
+			close(started)
+		}
+		<-ctx.Done()
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := calls.Load(); c >= 100000 {
+		t.Fatalf("all indices dispatched despite cancellation (%d calls)", c)
+	}
+}
+
+func TestParallelMapCtxCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := parallelMapCtx(ctx, 1000, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	got, err := parallelMap(0, func(i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", got, err)
+	}
+}

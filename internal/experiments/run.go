@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cmesh"
@@ -86,9 +87,40 @@ type Result struct {
 // ThroughputBitsPerCycle is the headline throughput metric.
 func (r Result) ThroughputBitsPerCycle() float64 { return r.Metrics.ThroughputBitsPerCycle() }
 
+// runCtxChunk is how many cycles execute between context checks in the
+// context-aware entry points: small enough that cancellation lands well
+// inside a client poll interval, large enough to stay off the hot path.
+const runCtxChunk = 1024
+
+// runCycles drives the engine for n cycles in bounded chunks, checking
+// ctx between chunks so a cancelled or timed-out run stops within
+// ~runCtxChunk cycles instead of completing the whole window.
+func runCycles(ctx context.Context, engine *sim.Engine, n int64) error {
+	for remaining := n; remaining > 0; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step := int64(runCtxChunk)
+		if step > remaining {
+			step = remaining
+		}
+		engine.Run(step)
+		remaining -= step
+	}
+	return ctx.Err()
+}
+
 // RunPEARL simulates one photonic configuration on one benchmark pair.
 // predictor may be nil except for PowerML configurations.
 func RunPEARL(cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor) (Result, error) {
+	return RunPEARLCtx(context.Background(), cfg, pair, opts, predictor)
+}
+
+// RunPEARLCtx is RunPEARL with cooperative cancellation: the simulation
+// aborts between cycle chunks once ctx is cancelled or its deadline
+// passes, returning the context error. This is the entry point pearld's
+// worker pool uses for in-flight job cancellation.
+func RunPEARLCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor) (Result, error) {
 	engine := sim.NewEngine()
 	net, err := core.New(engine, cfg)
 	if err != nil {
@@ -110,10 +142,14 @@ func RunPEARL(cfg config.Config, pair traffic.Pair, opts Options, predictor core
 	engine.Register(w)
 	engine.Register(net)
 
-	engine.Run(opts.WarmupCycles)
+	if err := runCycles(ctx, engine, opts.WarmupCycles); err != nil {
+		return Result{}, err
+	}
 	net.StartMeasurement()
 	w.StartMeasurement()
-	engine.Run(opts.MeasureCycles)
+	if err := runCycles(ctx, engine, opts.MeasureCycles); err != nil {
+		return Result{}, err
+	}
 	net.StopMeasurement(opts.MeasureCycles)
 	w.StopMeasurement()
 
@@ -132,6 +168,11 @@ func RunPEARL(cfg config.Config, pair traffic.Pair, opts Options, predictor core
 // linkScale narrows links for the Figure 5 bandwidth-matched points
 // (1 = 64WL-equivalent bisection).
 func RunCMESH(cfg config.Config, pair traffic.Pair, opts Options, linkScale int) (Result, error) {
+	return RunCMESHCtx(context.Background(), cfg, pair, opts, linkScale)
+}
+
+// RunCMESHCtx is RunCMESH with cooperative cancellation (see RunPEARLCtx).
+func RunCMESHCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, linkScale int) (Result, error) {
 	engine := sim.NewEngine()
 	net, err := cmesh.New(engine, cfg)
 	if err != nil {
@@ -152,10 +193,14 @@ func RunCMESH(cfg config.Config, pair traffic.Pair, opts Options, linkScale int)
 	engine.Register(w)
 	engine.Register(net)
 
-	engine.Run(opts.WarmupCycles)
+	if err := runCycles(ctx, engine, opts.WarmupCycles); err != nil {
+		return Result{}, err
+	}
 	net.StartMeasurement()
 	w.StartMeasurement()
-	engine.Run(opts.MeasureCycles)
+	if err := runCycles(ctx, engine, opts.MeasureCycles); err != nil {
+		return Result{}, err
+	}
 	net.StopMeasurement(opts.MeasureCycles)
 	w.StopMeasurement()
 

@@ -1,0 +1,265 @@
+// Package server is pearld's simulation-as-a-service layer: a JSON API
+// over a bounded job queue and worker pool that evaluates PEARL / CMESH
+// configurations on benchmark pairs, with a content-addressed result
+// cache and a live metrics endpoint. Everything is stdlib net/http.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (JobRequest) -> JobStatus
+//	GET    /v1/jobs/{id}        poll a job -> JobStatus
+//	GET    /v1/jobs/{id}/result fetch a finished job's JobResult
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /metrics             MetricsSnapshot (queue, counters, latency)
+//	GET    /healthz             liveness probe
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/traffic"
+)
+
+// Backend names accepted by JobRequest.Backend.
+const (
+	BackendPEARL = "pearl"
+	BackendCMESH = "cmesh"
+)
+
+// WorkloadSpec names the benchmark pair driving the run.
+type WorkloadSpec struct {
+	// CPU and GPU are benchmark names from the paper's Table IV suites
+	// (e.g. "fmm", "DCT"); see traffic.ProfileByName.
+	CPU string `json:"cpu"`
+	GPU string `json:"gpu"`
+}
+
+// JobRequest is the POST /v1/jobs body. Omitted fields default:
+// backend "pearl", config from the preset (or config.Default()),
+// seed 2018, cycles from the resolved config, link_scale 1.
+type JobRequest struct {
+	// Backend selects the photonic network ("pearl") or the electrical
+	// baseline ("cmesh").
+	Backend string `json:"backend,omitempty"`
+	// Preset optionally starts the configuration from a named paper
+	// configuration (config.ByName); Config fields then override it.
+	Preset string `json:"preset,omitempty"`
+	// Config holds config.Config field overrides (Go field names, e.g.
+	// {"StaticWavelengths": 32, "Power": 1}).
+	Config map[string]any `json:"config,omitempty"`
+	// Workload is the benchmark pair to simulate.
+	Workload WorkloadSpec `json:"workload"`
+	// Seed drives all randomness; identical requests produce identical
+	// results (and therefore cache hits). 0 means the paper seed 2018.
+	Seed uint64 `json:"seed,omitempty"`
+	// WarmupCycles / MeasureCycles override the resolved config's run
+	// lengths when positive.
+	WarmupCycles  int64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+	// LinkScale narrows CMESH links (bandwidth-matched baselines);
+	// ignored for the pearl backend.
+	LinkScale int `json:"link_scale,omitempty"`
+	// TimeoutMS bounds the job's wall-clock runtime; 0 uses the server
+	// default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// jobSpec is a fully resolved, validated request — the unit of work the
+// queue carries and the cache key covers.
+type jobSpec struct {
+	backend   string
+	cfg       config.Config
+	pair      traffic.Pair
+	seed      uint64
+	warmup    int64
+	measure   int64
+	linkScale int
+	timeout   time.Duration
+}
+
+// options bounds for externally supplied run lengths.
+const (
+	maxMeasureCycles = 5_000_000
+	maxWarmupCycles  = 1_000_000
+)
+
+// resolve validates the request and fills defaults, returning the
+// executable spec or a client-facing error.
+func (r JobRequest) resolve(defaultTimeout time.Duration) (jobSpec, error) {
+	spec := jobSpec{backend: r.Backend, linkScale: r.LinkScale, seed: r.Seed}
+	switch spec.backend {
+	case "":
+		spec.backend = BackendPEARL
+	case BackendPEARL, BackendCMESH:
+	default:
+		return jobSpec{}, fmt.Errorf("unknown backend %q (want %q or %q)", r.Backend, BackendPEARL, BackendCMESH)
+	}
+
+	cfg := config.Default()
+	if r.Preset != "" {
+		var err error
+		if cfg, err = config.ByName(r.Preset); err != nil {
+			return jobSpec{}, err
+		}
+	}
+	if len(r.Config) > 0 {
+		if err := applyOverrides(&cfg, r.Config); err != nil {
+			return jobSpec{}, err
+		}
+	}
+	if r.WarmupCycles > 0 {
+		cfg.WarmupCycles = int(r.WarmupCycles)
+	}
+	if r.MeasureCycles > 0 {
+		cfg.MeasureCycles = int(r.MeasureCycles)
+	}
+	if err := cfg.Validate(); err != nil {
+		return jobSpec{}, err
+	}
+	if cfg.MeasureCycles > maxMeasureCycles {
+		return jobSpec{}, fmt.Errorf("measure cycles %d above server limit %d", cfg.MeasureCycles, maxMeasureCycles)
+	}
+	if cfg.WarmupCycles > maxWarmupCycles {
+		return jobSpec{}, fmt.Errorf("warmup cycles %d above server limit %d", cfg.WarmupCycles, maxWarmupCycles)
+	}
+	if spec.backend == BackendPEARL && cfg.Power == config.PowerML {
+		return jobSpec{}, fmt.Errorf("power policy ML needs a hosted model; pearld does not serve ML configurations yet (train offline with pearltrain)")
+	}
+	spec.cfg = cfg
+	spec.warmup = int64(cfg.WarmupCycles)
+	spec.measure = int64(cfg.MeasureCycles)
+
+	if r.Workload.CPU == "" || r.Workload.GPU == "" {
+		return jobSpec{}, fmt.Errorf("workload needs both cpu and gpu benchmark names")
+	}
+	cpu, err := traffic.ProfileByName(r.Workload.CPU)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	gpu, err := traffic.ProfileByName(r.Workload.GPU)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	spec.pair = traffic.Pair{CPU: cpu, GPU: gpu}
+
+	if spec.seed == 0 {
+		spec.seed = 2018
+	}
+	if spec.linkScale <= 0 {
+		spec.linkScale = 1
+	}
+	spec.timeout = defaultTimeout
+	if r.TimeoutMS > 0 {
+		spec.timeout = time.Duration(r.TimeoutMS) * time.Millisecond
+	}
+	return spec, nil
+}
+
+// applyOverrides merges Go-field-named overrides into cfg via a strict
+// JSON round trip, so a typoed field name is a 400, not a silent no-op.
+func applyOverrides(cfg *config.Config, overrides map[string]any) error {
+	raw, err := json.Marshal(overrides)
+	if err != nil {
+		return fmt.Errorf("config overrides: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(cfg); err != nil {
+		return fmt.Errorf("config overrides: %w", err)
+	}
+	return nil
+}
+
+// cacheKey is the content address of the spec: any field that changes
+// the simulation's outcome is folded into the digest. Timeout is
+// deliberately excluded — it bounds wall-clock, not results.
+func (s jobSpec) cacheKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "backend=%s\n", s.backend)
+	fmt.Fprintf(h, "config=%s", s.cfg.CanonicalString())
+	fmt.Fprintf(h, "cpu=%s\ngpu=%s\n", s.pair.CPU.Name, s.pair.GPU.Name)
+	fmt.Fprintf(h, "seed=%d\nwarmup=%d\nmeasure=%d\nlink_scale=%d\n",
+		s.seed, s.warmup, s.measure, s.linkScale)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// options converts the spec to an experiments option set.
+func (s jobSpec) options() experiments.Options {
+	return experiments.Options{
+		Seed:          s.seed,
+		WarmupCycles:  s.warmup,
+		MeasureCycles: s.measure,
+	}
+}
+
+// JobResult is the measurement payload of a completed job.
+type JobResult struct {
+	Config                 string          `json:"config"`
+	Pair                   string          `json:"pair"`
+	ThroughputBitsPerCycle float64         `json:"throughput_bits_per_cycle"`
+	ThroughputGbps         float64         `json:"throughput_gbps"`
+	DeliveredPackets       uint64          `json:"delivered_packets"`
+	CPUShare               float64         `json:"cpu_share"`
+	MeanLatencyCycles      float64         `json:"mean_latency_cycles"`
+	P50LatencyCycles       float64         `json:"p50_latency_cycles"`
+	P99LatencyCycles       float64         `json:"p99_latency_cycles"`
+	CPULatencyCycles       float64         `json:"cpu_latency_cycles"`
+	GPULatencyCycles       float64         `json:"gpu_latency_cycles"`
+	RetiredRoundTrips      uint64          `json:"retired_round_trips"`
+	AvgLaserPowerW         float64         `json:"avg_laser_power_w"`
+	EnergyPerBitPJ         float64         `json:"energy_per_bit_pj"`
+	TurnOnStalls           uint64          `json:"turn_on_stalls"`
+	StateResidency         map[int]float64 `json:"state_residency,omitempty"`
+}
+
+// newJobResult flattens an experiments.Result into the wire payload.
+func newJobResult(res experiments.Result) *JobResult {
+	m := res.Metrics
+	q := m.Latency.Percentiles(50, 99)
+	out := &JobResult{
+		Config:                 res.Name,
+		Pair:                   res.Pair.Name(),
+		ThroughputBitsPerCycle: m.ThroughputBitsPerCycle(),
+		ThroughputGbps:         m.ThroughputGbps(config.NetworkFrequencyHz),
+		DeliveredPackets:       m.Delivered.TotalPackets(),
+		CPUShare:               m.Delivered.Share(0),
+		MeanLatencyCycles:      m.Latency.Mean(),
+		P50LatencyCycles:       q[0],
+		P99LatencyCycles:       q[1],
+		CPULatencyCycles:       m.CPULatency.Mean(),
+		GPULatencyCycles:       m.GPULatency.Mean(),
+		RetiredRoundTrips:      res.Retired,
+		AvgLaserPowerW:         res.Account.AverageLaserPowerW(),
+		EnergyPerBitPJ:         res.Account.EnergyPerBitJ() * 1e12,
+		TurnOnStalls:           res.TurnOnStalls,
+	}
+	if keys := m.StateResidency.Keys(); len(keys) > 0 {
+		out.StateResidency = make(map[int]float64, len(keys))
+		for _, k := range keys {
+			out.StateResidency[k] = m.StateResidency.Fraction(k)
+		}
+	}
+	return out
+}
+
+// JobStatus is the poll payload for a job in any state.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Backend     string `json:"backend"`
+	Config      string `json:"config"`
+	Pair        string `json:"pair"`
+	CacheKey    string `json:"cache_key"`
+	Cached      bool   `json:"cached"`
+	Error       string `json:"error,omitempty"`
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	ElapsedMS   int64  `json:"elapsed_ms,omitempty"`
+}

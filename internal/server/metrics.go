@@ -1,0 +1,119 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metrics aggregates the daemon's operational counters. All fields are
+// guarded by mu; the latency histogram reuses internal/stats so the
+// endpoint reports the same nearest-rank quantiles the simulator does.
+type metrics struct {
+	mu        sync.Mutex
+	submitted uint64
+	started   uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+	rejected  uint64
+	cacheHits uint64
+	cacheMiss uint64
+	busy      int
+	workers   int
+	latency   *stats.Histogram // seconds per completed job
+	upSince   time.Time
+}
+
+func newMetrics(workers int) *metrics {
+	return &metrics{
+		workers: workers,
+		latency: stats.NewHistogram(1 << 16),
+		upSince: time.Now(),
+	}
+}
+
+func (m *metrics) jobSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) jobRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) jobCancelled() { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
+func (m *metrics) jobFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *metrics) cacheHit()     { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) cacheMissed()  { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
+
+func (m *metrics) jobStarted() {
+	m.mu.Lock()
+	m.started++
+	m.busy++
+	m.mu.Unlock()
+}
+
+// workerIdle releases a busy slot regardless of job outcome.
+func (m *metrics) workerIdle() {
+	m.mu.Lock()
+	m.busy--
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobCompleted(elapsed time.Duration) {
+	m.mu.Lock()
+	m.completed++
+	m.latency.Add(elapsed.Seconds())
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the GET /metrics payload.
+type MetricsSnapshot struct {
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	QueueDepth        int     `json:"queue_depth"`
+	QueueCapacity     int     `json:"queue_capacity"`
+	Workers           int     `json:"workers"`
+	WorkersBusy       int     `json:"workers_busy"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+	JobsSubmitted     uint64  `json:"jobs_submitted"`
+	JobsStarted       uint64  `json:"jobs_started"`
+	JobsCompleted     uint64  `json:"jobs_completed"`
+	JobsFailed        uint64  `json:"jobs_failed"`
+	JobsCancelled     uint64  `json:"jobs_cancelled"`
+	JobsRejected      uint64  `json:"jobs_rejected"`
+	CacheHits         uint64  `json:"cache_hits"`
+	CacheMisses       uint64  `json:"cache_misses"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	CacheEntries      int     `json:"cache_entries"`
+	JobLatencyMeanS   float64 `json:"job_latency_mean_s"`
+	JobLatencyP50S    float64 `json:"job_latency_p50_s"`
+	JobLatencyP99S    float64 `json:"job_latency_p99_s"`
+}
+
+// snapshot captures a consistent view for the metrics endpoint.
+func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.latency.Percentiles(50, 99)
+	s := MetricsSnapshot{
+		UptimeSeconds:   time.Since(m.upSince).Seconds(),
+		QueueDepth:      queueDepth,
+		QueueCapacity:   queueCap,
+		Workers:         m.workers,
+		WorkersBusy:     m.busy,
+		JobsSubmitted:   m.submitted,
+		JobsStarted:     m.started,
+		JobsCompleted:   m.completed,
+		JobsFailed:      m.failed,
+		JobsCancelled:   m.cancelled,
+		JobsRejected:    m.rejected,
+		CacheHits:       m.cacheHits,
+		CacheMisses:     m.cacheMiss,
+		CacheEntries:    cacheEntries,
+		JobLatencyMeanS: m.latency.Mean(),
+		JobLatencyP50S:  q[0],
+		JobLatencyP99S:  q[1],
+	}
+	if m.workers > 0 {
+		s.WorkerUtilization = float64(m.busy) / float64(m.workers)
+	}
+	if lookups := m.cacheHits + m.cacheMiss; lookups > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)
+	}
+	return s
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// JobState is a job's lifecycle stage.
+type JobState string
+
+// Job lifecycle: pending -> running -> done | failed | cancelled.
+// Cache hits and cancelled-while-queued jobs skip running.
+const (
+	StatePending   JobState = "pending"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one queued simulation with its lifecycle bookkeeping. The
+// mutable fields are guarded by mu; ctx/cancel govern the simulation's
+// cooperative cancellation.
+type Job struct {
+	ID   string
+	spec jobSpec
+	key  string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	err       error
+	result    *JobResult
+	cached    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id string, spec jobSpec, parent context.Context) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	return &Job{
+		ID:        id,
+		spec:      spec,
+		key:       spec.cacheKey(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StatePending,
+		submitted: time.Now(),
+	}
+}
+
+// Cancel requests cancellation. Queued jobs flip to cancelled
+// immediately (wasPending true); running jobs stop at the next
+// simulation chunk boundary and are marked cancelled by their worker.
+// signalled is false when the job had already reached a terminal state.
+func (j *Job) Cancel() (signalled, wasPending bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false, false
+	}
+	j.cancel()
+	if j.state == StatePending {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		return true, true
+	}
+	return true, false
+}
+
+// cancelIfPending flips a still-queued job to cancelled without
+// touching running ones — drain wants in-flight work to finish.
+func (j *Job) cancelIfPending() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StatePending {
+		return false
+	}
+	j.state = StateCancelled
+	j.finished = time.Now()
+	j.cancel()
+	return true
+}
+
+// markRunning transitions pending -> running; returns false when the
+// job was cancelled while queued (the worker must skip it).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StatePending {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the terminal state, releasing the job's context.
+func (j *Job) finish(state JobState, result *JobResult, err error) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = state
+		j.result = result
+		j.err = err
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// finishCached marks a job resolved from the result cache at submit.
+func (j *Job) finishCached(result *JobResult) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = result
+	j.cached = true
+	j.started = j.submitted
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// Result returns the payload and whether the job is done.
+func (j *Job) Result() (*JobResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		State:       string(j.state),
+		Backend:     j.spec.backend,
+		Config:      j.spec.cfg.Name(),
+		Pair:        j.spec.pair.Name(),
+		CacheKey:    j.key,
+		Cached:      j.cached,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		st.ElapsedMS = j.finished.Sub(j.submitted).Milliseconds()
+	}
+	return st
+}
+
+// registry is the id -> job table plus the bounded intake queue.
+// Enqueue order is FIFO; the channel's capacity is the queue bound.
+// closed gates enqueue against the drain-time channel close.
+type registry struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	queue  chan *Job
+	closed bool
+}
+
+func newRegistry(depth int) *registry {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &registry{
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, depth),
+	}
+}
+
+// add registers the job under its ID.
+func (r *registry) add(j *Job) {
+	r.mu.Lock()
+	r.jobs[j.ID] = j
+	r.mu.Unlock()
+}
+
+// get looks a job up by ID.
+func (r *registry) get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// enqueue offers the job to the bounded queue without blocking;
+// false means the queue is full or draining (callers answer 503).
+func (r *registry) enqueue(j *Job) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	select {
+	case r.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops intake; subsequent enqueues fail and workers exit once
+// the channel drains. Idempotent.
+func (r *registry) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.closed {
+		r.closed = true
+		close(r.queue)
+	}
+}
+
+// cancelPending cancels every job still waiting in the queue and
+// returns how many were flipped to cancelled.
+func (r *registry) cancelPending() int {
+	r.mu.Lock()
+	pending := make([]*Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		pending = append(pending, j)
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, j := range pending {
+		if j.cancelIfPending() {
+			n++
+		}
+	}
+	return n
+}
+
+// depth reports queued-but-unclaimed jobs.
+func (r *registry) depth() int { return len(r.queue) }

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options sizes the daemon.
+type Options struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-unstarted jobs (default 64); past it
+	// submissions get 503.
+	QueueDepth int
+	// CacheCapacity bounds the content-addressed result cache entries
+	// (default 1024, LRU eviction).
+	CacheCapacity int
+	// DefaultTimeout bounds each job's wall-clock runtime unless the
+	// request overrides it (default 5 minutes).
+	DefaultTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = 1024
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 5 * time.Minute
+	}
+	return o
+}
+
+// Server is the pearld daemon core: job registry, bounded queue, worker
+// pool, result cache and metrics, exposed as an http.Handler.
+type Server struct {
+	opts    Options
+	reg     *registry
+	cache   *resultCache
+	metrics *metrics
+	mux     *http.ServeMux
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+	draining   atomic.Bool
+	drainOnce  sync.Once
+	nextID     atomic.Uint64
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		reg:        newRegistry(opts.QueueDepth),
+		cache:      newResultCache(opts.CacheCapacity),
+		metrics:    newMetrics(opts.Workers),
+		mux:        http.NewServeMux(),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP makes the server mountable anywhere an http.Handler fits.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the daemon: intake closes immediately (new submits
+// get 503), still-queued jobs are cancelled, and in-flight simulations
+// run to completion. If ctx expires first, in-flight jobs are force-
+// cancelled and the context error returned once workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		for i, n := 0, s.reg.cancelPending(); i < n; i++ {
+			s.metrics.jobCancelled()
+		}
+		s.reg.close()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// --- handlers ---
+
+// maxRequestBytes bounds a job submission body.
+const maxRequestBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	spec, err := req.resolve(s.opts.DefaultTimeout)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	s.metrics.jobSubmitted()
+	job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
+	if cached, ok := s.cache.Get(job.key); ok {
+		s.metrics.cacheHit()
+		job.finishCached(cached)
+		s.reg.add(job)
+		writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	s.metrics.cacheMissed()
+	s.reg.add(job)
+	if !s.reg.enqueue(job) {
+		s.metrics.jobRejected()
+		job.finish(StateFailed, nil, fmt.Errorf("queue full (%d jobs)", s.opts.QueueDepth))
+		httpError(w, http.StatusServiceUnavailable, "queue full, retry later")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	result, done := job.Result()
+	if !done {
+		writeJSON(w, http.StatusConflict, job.Status())
+		return
+	}
+	writeJSON(w, http.StatusOK, result)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	signalled, wasPending := job.Cancel()
+	if !signalled {
+		writeJSON(w, http.StatusConflict, job.Status())
+		return
+	}
+	if wasPending {
+		s.metrics.jobCancelled()
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK,
+		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len()))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func writeJSON(w http.ResponseWriter, code int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(payload)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// run executes the spec's simulation under ctx. This is the only place
+// pearld touches the simulator, through the context-aware experiment
+// entry points.
+func (s jobSpec) run(ctx context.Context) (experiments.Result, error) {
+	opts := s.options()
+	if s.backend == BackendCMESH {
+		return experiments.RunCMESHCtx(ctx, s.cfg, s.pair, opts, s.linkScale)
+	}
+	return experiments.RunPEARLCtx(ctx, s.cfg, s.pair, opts, nil)
+}
+
+// worker drains the queue until it is closed; each claimed job runs to
+// a terminal state before the next is picked up.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.reg.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob drives one job from claimed to terminal, keeping the metrics
+// and result cache consistent with the observed outcome.
+func (s *Server) runJob(job *Job) {
+	if !job.markRunning() {
+		// Cancelled while queued; already counted and terminal.
+		return
+	}
+	s.metrics.jobStarted()
+	defer s.metrics.workerIdle()
+
+	ctx := job.ctx
+	if job.spec.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.spec.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := job.spec.run(ctx)
+	elapsed := time.Since(start)
+
+	switch {
+	case err == nil:
+		payload := newJobResult(res)
+		s.cache.Put(job.key, payload)
+		job.finish(StateDone, payload, nil)
+		s.metrics.jobCompleted(elapsed)
+	case errors.Is(err, context.Canceled):
+		job.finish(StateCancelled, nil, errors.New("cancelled while running"))
+		s.metrics.jobCancelled()
+	case errors.Is(err, context.DeadlineExceeded):
+		job.finish(StateFailed, nil, fmt.Errorf("timed out after %v", job.spec.timeout))
+		s.metrics.jobFailed()
+	default:
+		job.finish(StateFailed, nil, err)
+		s.metrics.jobFailed()
+	}
+}

@@ -126,6 +126,37 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.samples[rank-1]
 }
 
+// Percentiles returns the requested percentiles (each 0..100,
+// nearest-rank) computed over a sorted copy of the retained samples,
+// leaving the receiver's sample order untouched. One sort serves every
+// requested quantile, which is what a metrics endpoint wants when it
+// reports p50/p99 from a histogram shared with concurrent writers under
+// an external lock.
+func (h *Histogram) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(h.samples) == 0 {
+		return out
+	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		switch {
+		case p <= 0:
+			out[i] = sorted[0]
+		case p >= 100:
+			out[i] = sorted[len(sorted)-1]
+		default:
+			rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+			if rank < 1 {
+				rank = 1
+			}
+			out[i] = sorted[rank-1]
+		}
+	}
+	return out
+}
+
 // ClassCounts tracks per-class packet and bit totals.
 type ClassCounts struct {
 	Packets [2]uint64

@@ -290,3 +290,41 @@ func TestNRMSERelationToR2Property(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentilesMatchPercentile(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 100; i >= 1; i-- {
+		h.Add(float64(i))
+	}
+	got := h.Percentiles(0, 50, 99, 100)
+	// Compare against the single-quantile path on an identical histogram.
+	ref := NewHistogram(0)
+	for i := 100; i >= 1; i-- {
+		ref.Add(float64(i))
+	}
+	want := []float64{ref.Percentile(0), ref.Percentile(50), ref.Percentile(99), ref.Percentile(100)}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPercentilesDoesNotMutateSampleOrder(t *testing.T) {
+	h := NewHistogram(0)
+	h.Add(3)
+	h.Add(1)
+	h.Add(2)
+	_ = h.Percentiles(50, 99)
+	if h.samples[0] != 3 || h.samples[1] != 1 || h.samples[2] != 2 {
+		t.Fatalf("Percentiles reordered samples: %v", h.samples)
+	}
+}
+
+func TestPercentilesEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	got := h.Percentiles(50, 99)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty percentiles = %v, want zeros", got)
+	}
+}

@@ -102,21 +102,45 @@ func ReadAll(r io.Reader) ([]Record, error) {
 	}
 	var version, count uint32
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading version: %w", noEOF(err))
 	}
 	if version != Version {
-		return nil, fmt.Errorf("trace: unsupported version %d", version)
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", version, Version)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading record count: %w", noEOF(err))
 	}
-	records := make([]Record, count)
-	for i := range records {
-		if err := readRecord(br, &records[i]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+	// Cap the initial allocation: count comes from untrusted input, so a
+	// corrupt header must not translate into a multi-GB make().
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	records := make([]Record, 0, capHint)
+	for i := uint32(0); i < count; i++ {
+		var rec Record
+		if err := readRecord(br, &rec); err != nil {
+			return nil, fmt.Errorf("trace: record %d of declared %d: %w", i, count, noEOF(err))
 		}
+		records = append(records, rec)
+	}
+	// A header that undercounts would silently drop records; refuse it.
+	if _, err := br.Peek(1); err == nil {
+		return nil, fmt.Errorf("trace: trailing bytes after the %d declared records", count)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("trace: checking for trailing bytes: %w", err)
 	}
 	return records, nil
+}
+
+// noEOF upgrades a bare io.EOF to io.ErrUnexpectedEOF: inside a
+// structure whose header promised more bytes, running dry is a
+// truncation, not a clean end of stream.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 func readRecord(r io.Reader, rec *Record) error {

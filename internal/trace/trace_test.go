@@ -2,6 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -230,5 +234,114 @@ func TestNewPlayerRejectsUnsorted(t *testing.T) {
 	recs := []Record{{InjectCycle: 10}, {InjectCycle: 5}}
 	if _, err := NewPlayer(&fakeTarget{}, recs); err == nil {
 		t.Fatal("expected error for unsorted records")
+	}
+}
+
+// corruptTrace writes a valid trace then lets tests mangle the bytes.
+func validTraceBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadAllTruncatedHeader(t *testing.T) {
+	raw := validTraceBytes(t)
+	// Every prefix shorter than the 16-byte header must fail with a
+	// wrapped truncation error, never panic or return records.
+	for cut := 0; cut < 16; cut++ {
+		_, err := ReadAll(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("header truncated at %d bytes: no error", cut)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+			t.Fatalf("header truncated at %d bytes: err %v lacks EOF cause", cut, err)
+		}
+	}
+}
+
+func TestReadAllBadMagic(t *testing.T) {
+	raw := validTraceBytes(t)
+	raw[0] = 'X'
+	_, err := ReadAll(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+}
+
+func TestReadAllVersionMismatch(t *testing.T) {
+	raw := validTraceBytes(t)
+	binary.LittleEndian.PutUint32(raw[8:12], Version+7)
+	_, err := ReadAll(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("version mismatch: err = %v", err)
+	}
+}
+
+func TestReadAllCountExceedsFileLength(t *testing.T) {
+	raw := validTraceBytes(t)
+	// Header declares more records than the file holds.
+	binary.LittleEndian.PutUint32(raw[12:16], uint32(len(sampleRecords())+5))
+	_, err := ReadAll(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("over-count: no error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("over-count: err = %v, want wrapped io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadAllHugeCountDoesNotAllocate(t *testing.T) {
+	raw := validTraceBytes(t)
+	binary.LittleEndian.PutUint32(raw[12:16], 0xFFFFFFFF)
+	_, err := ReadAll(bytes.NewReader(raw))
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("huge count: err = %v, want wrapped io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadAllCountBelowFileLength(t *testing.T) {
+	raw := validTraceBytes(t)
+	// Header declares fewer records than the file holds: the silent-
+	// short-read case. Must refuse, not drop the tail.
+	binary.LittleEndian.PutUint32(raw[12:16], uint32(len(sampleRecords())-1))
+	_, err := ReadAll(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "trailing bytes") {
+		t.Fatalf("under-count: err = %v, want trailing-bytes error", err)
+	}
+}
+
+func TestReadAllMidRecordTruncation(t *testing.T) {
+	raw := validTraceBytes(t)
+	// Cut inside the last record's payload.
+	_, err := ReadAll(bytes.NewReader(raw[:len(raw)-7]))
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-record truncation: err = %v, want wrapped io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadAllRoundTripStillCleanAfterHardening(t *testing.T) {
+	got, err := ReadAll(bytes.NewReader(validTraceBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sampleRecords()) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(sampleRecords()))
+	}
+}
+
+func TestReadAllEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace returned %d records", len(got))
 	}
 }
