@@ -10,29 +10,41 @@
 //	pearlbench -figure 7       # a single figure
 //	pearlbench -out results.txt
 //	pearlbench -json BENCH_quick.json   # machine-readable timings
+//	pearlbench -sweep fig5 -cache-out warm_fig5.json   # cache-warming artifact
+//
+// The -sweep mode evaluates a named figure sweep (fig4, fig5, fig6,
+// fig7, fig9, fig11) point by point and, with -cache-out, writes the
+// results as a cache-entry artifact whose content addresses match the
+// ones pearld computes — so `pearld -warm-cache warm_fig5.json` serves
+// every point of the equivalent batch without simulating.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/server"
 )
 
 func main() {
 	var (
-		full    = flag.Bool("full", false, "paper-scale runs (16 pairs, 60k cycles)")
-		check   = flag.Bool("check", false, "run the machine-verifiable paper-claim shape checks")
-		figure  = flag.String("figure", "all", "which artifact: all, t1, t2, t5, 4..11, nrmse, ab-step, ab-bounds, ab-thresholds, ab-window, ab-features, ab-label, extensions, thermal")
-		out     = flag.String("out", "", "also write results to this file")
-		jsonOut = flag.String("json", "", "write machine-readable per-artifact benchmark records (name, iters, ns/op, bytes/op) to this file")
-		md      = flag.Bool("md", false, "emit a single Markdown report (all artifacts + shape checks)")
-		seed    = flag.Uint64("seed", 2018, "experiment seed")
+		full     = flag.Bool("full", false, "paper-scale runs (16 pairs, 60k cycles)")
+		check    = flag.Bool("check", false, "run the machine-verifiable paper-claim shape checks")
+		figure   = flag.String("figure", "all", "which artifact: all, t1, t2, t5, 4..11, nrmse, ab-step, ab-bounds, ab-thresholds, ab-window, ab-features, ab-label, extensions, thermal")
+		out      = flag.String("out", "", "also write results to this file")
+		jsonOut  = flag.String("json", "", "write machine-readable per-artifact benchmark records (name, iters, ns/op, bytes/op) to this file")
+		md       = flag.Bool("md", false, "emit a single Markdown report (all artifacts + shape checks)")
+		seed     = flag.Uint64("seed", 2018, "experiment seed")
+		sweep    = flag.String("sweep", "", "evaluate a named figure sweep ("+strings.Join(experiments.SweepNames(), ", ")+")")
+		cacheOut = flag.String("cache-out", "", "with -sweep: write results as a pearld cache-warming artifact (JSON)")
 	)
 	flag.Parse()
 
@@ -53,6 +65,13 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	if *sweep != "" {
+		if err := runSweep(w, opts, *sweep, *cacheOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pearlbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *md {
 		if err := experiments.NewSuite(opts).WriteMarkdownReport(w); err != nil {
 			fmt.Fprintln(os.Stderr, "pearlbench:", err)
@@ -76,6 +95,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pearlbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSweep evaluates a named figure sweep and optionally exports the
+// results as a cache-warming artifact. Each point's config carries the
+// run lengths before keying, matching the invariant pearld's job
+// resolution enforces — that is what makes the exported keys collide
+// with the server's.
+func runSweep(w io.Writer, opts experiments.Options, name, cacheOut string) error {
+	points, err := experiments.FigureSweep(name, opts.Pairs)
+	if err != nil {
+		return err
+	}
+	for i := range points {
+		points[i].Config.WarmupCycles = int(opts.WarmupCycles)
+		points[i].Config.MeasureCycles = int(opts.MeasureCycles)
+	}
+	start := time.Now()
+	results, err := experiments.RunSweep(context.Background(), points, opts)
+	if err != nil {
+		return fmt.Errorf("sweep %s: %w", name, err)
+	}
+	entries := make([]server.CacheEntry, len(points))
+	for i, p := range points {
+		payload := server.ResultPayload(results[i])
+		entries[i] = server.CacheEntry{
+			Key:    server.PointKey(p.Backend, p.Config, p.Pair, opts.Seed, p.LinkScale),
+			Result: payload,
+		}
+		fmt.Fprintf(w, "%-28s %-12s %10.2f bits/cycle  %8.2f pJ/bit  %s\n",
+			p.Label, payload.Pair, payload.ThroughputBitsPerCycle,
+			payload.EnergyPerBitPJ, entries[i].Key)
+	}
+	fmt.Fprintf(w, "sweep %s: %d points in %v\n", name, len(points), time.Since(start).Round(time.Millisecond))
+	if cacheOut == "" {
+		return nil
+	}
+	f, err := os.Create(cacheOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(entries); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d cache entries to %s\n", len(entries), cacheOut)
+	return nil
 }
 
 // benchRecord is one artifact's machine-readable timing, mirroring the

@@ -7,6 +7,8 @@
 //
 //	pearld                         # listen on :8080 with GOMAXPROCS workers
 //	pearld -addr :9000 -workers 8 -queue 256 -cache 4096 -timeout 2m
+//	pearld -cache-dir /var/cache/pearld            # results survive restarts
+//	pearld -cache-dir d -warm-cache results/       # preload from artifacts
 //
 // SIGINT/SIGTERM starts a graceful drain: intake stops (503), queued
 // jobs are cancelled, in-flight simulations finish (bounded by
@@ -30,28 +32,44 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 64, "bounded job-queue depth")
-		cacheCap   = flag.Int("cache", 1024, "result-cache capacity (entries, LRU)")
-		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
-		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "bounded job-queue depth")
+		cacheCap    = flag.Int("cache", 1024, "result-cache capacity (entries, LRU)")
+		cacheDir    = flag.String("cache-dir", "", "directory for the disk-persistent result cache (empty = memory only)")
+		cacheDirMax = flag.Int64("cache-dir-max", 0, "disk cache size cap in bytes (0 = 256 MiB default)")
+		warmCache   = flag.String("warm-cache", "", "JSON artifact file or directory to preload the cache from")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
+		drainGrace  = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *cacheCap, *timeout, *drainGrace); err != nil {
+	opts := server.Options{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheCapacity:    *cacheCap,
+		CacheDir:         *cacheDir,
+		CacheDirMaxBytes: *cacheDirMax,
+		DefaultTimeout:   *timeout,
+	}
+	if err := run(*addr, opts, *warmCache, *drainGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "pearld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cacheCap int, timeout, drainGrace time.Duration) error {
-	daemon := server.New(server.Options{
-		Workers:        workers,
-		QueueDepth:     queue,
-		CacheCapacity:  cacheCap,
-		DefaultTimeout: timeout,
-	})
+func run(addr string, opts server.Options, warmCache string, drainGrace time.Duration) error {
+	daemon, err := server.New(opts)
+	if err != nil {
+		return err
+	}
+	if warmCache != "" {
+		stats, err := daemon.WarmCache(warmCache)
+		if err != nil {
+			return err
+		}
+		log.Printf("pearld: warmed cache from %s (%s)", warmCache, stats)
+	}
 	httpServer := &http.Server{
 		Addr:              addr,
 		Handler:           daemon,

@@ -12,6 +12,7 @@ import (
 var presets = map[string]func() Config{
 	"pearl-dyn":      PEARLDyn,
 	"pearl-fcfs":     PEARLFCFS,
+	"static-64":      func() Config { return StaticWL(64) },
 	"static-48":      func() Config { return StaticWL(48) },
 	"static-32":      func() Config { return StaticWL(32) },
 	"static-16":      func() Config { return StaticWL(16) },

@@ -1,0 +1,54 @@
+package config
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestByNameResolvesEveryPreset(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestByNameStatic64(t *testing.T) {
+	cfg, err := ByName("static-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StaticWL(64)
+	if cfg.StaticWavelengths != 64 || cfg.Bandwidth != want.Bandwidth || cfg.Power != want.Power {
+		t.Fatalf("static-64 = %+v, want StaticWL(64) = %+v", cfg, want)
+	}
+	// Case-insensitive lookup.
+	if _, err := ByName("STATIC-64"); err != nil {
+		t.Fatalf("case-insensitive lookup: %v", err)
+	}
+}
+
+func TestByNameUnknownListsPresets(t *testing.T) {
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if !strings.Contains(err.Error(), "static-64") {
+		t.Fatalf("error %q should list the known presets", err)
+	}
+}
+
+func TestPresetNamesSorted(t *testing.T) {
+	names := PresetNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("PresetNames not sorted: %v", names)
+	}
+	if len(names) != 13 {
+		t.Fatalf("expected 13 presets, got %d: %v", len(names), names)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/traffic"
+)
+
+// Point is one (configuration, workload pair) evaluation of a figure
+// sweep — the unit pearld's batch endpoint schedules and the unit
+// `pearlbench -sweep` exports as cache-warming artifacts.
+type Point struct {
+	// Label is the paper's configuration label for the point's config.
+	Label string
+	// Backend is "pearl" (photonic) or "cmesh" (electrical baseline).
+	Backend string
+	// Config fully describes the network build.
+	Config config.Config
+	// LinkScale narrows CMESH links for bandwidth-matched baselines
+	// (>= 1; ignored by the pearl backend).
+	LinkScale int
+	// Pair is the CPU+GPU benchmark pair driving the run.
+	Pair traffic.Pair
+}
+
+// sweepConfig is one configuration of a named sweep before pairs are
+// crossed in.
+type sweepConfig struct {
+	label     string
+	backend   string
+	cfg       config.Config
+	linkScale int
+}
+
+func pearlPoint(cfg config.Config) sweepConfig {
+	return sweepConfig{label: cfg.Name(), backend: "pearl", cfg: cfg, linkScale: 1}
+}
+
+func cmeshPoint(scale int) sweepConfig {
+	label := "CMESH"
+	if scale > 1 {
+		label = fmt.Sprintf("CMESH(1/%d bw)", scale)
+	}
+	return sweepConfig{label: label, backend: "cmesh", cfg: config.Default(), linkScale: scale}
+}
+
+// sweepConfigs maps a sweep name to the configurations the paper's
+// figure compares. ML-power configurations are deliberately absent:
+// they need a hosted trained model, which pearld rejects at submit
+// (see ROADMAP) — the affected figures keep their reactive and static
+// points.
+func sweepConfigs(name string) ([]sweepConfig, error) {
+	switch strings.ToLower(name) {
+	case "fig4":
+		return []sweepConfig{pearlPoint(config.PEARLDyn())}, nil
+	case "fig5":
+		var out []sweepConfig
+		for _, pt := range []struct{ wl, scale int }{{64, 1}, {32, 2}, {16, 4}} {
+			out = append(out, pearlPoint(config.StaticWL(pt.wl)))
+			fcfs := config.StaticWL(pt.wl)
+			fcfs.Bandwidth = config.PolicyFCFS
+			out = append(out, pearlPoint(fcfs))
+			out = append(out, cmeshPoint(pt.scale))
+		}
+		return out, nil
+	case "fig6", "fig7":
+		return []sweepConfig{
+			pearlPoint(config.PEARLDyn()),
+			pearlPoint(config.DynRW(500)),
+			pearlPoint(config.DynRW(2000)),
+		}, nil
+	case "fig9":
+		noLow := config.DynRW(500)
+		noLow.Allow8WL = false
+		return []sweepConfig{
+			pearlPoint(config.PEARLDyn()),
+			pearlPoint(config.PEARLFCFS()),
+			pearlPoint(noLow),
+			cmeshPoint(1),
+		}, nil
+	case "fig11":
+		var out []sweepConfig
+		for _, window := range []int{500, 2000} {
+			for _, turnOn := range []float64{2, 4, 16, 32} {
+				cfg := config.DynRW(window)
+				cfg.LaserTurnOnNs = turnOn
+				pt := pearlPoint(cfg)
+				pt.label = fmt.Sprintf("%s @ %gns", cfg.Name(), turnOn)
+				out = append(out, pt)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown sweep %q (known: %s)",
+			name, strings.Join(SweepNames(), ", "))
+	}
+}
+
+// SweepNames lists the named figure sweeps in sorted order.
+func SweepNames() []string {
+	names := []string{"fig4", "fig5", "fig6", "fig7", "fig9", "fig11"}
+	sort.Strings(names)
+	return names
+}
+
+// FigureSweep expands a named figure sweep into its constituent
+// points over the given pairs (nil or empty means the paper's 16 test
+// pairs). Points are ordered configuration-major, matching the
+// figures' row order.
+func FigureSweep(name string, pairs []traffic.Pair) ([]Point, error) {
+	cfgs, err := sweepConfigs(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(pairs) == 0 {
+		pairs = traffic.TestPairs()
+	}
+	points := make([]Point, 0, len(cfgs)*len(pairs))
+	for _, sc := range cfgs {
+		for _, pair := range pairs {
+			points = append(points, Point{
+				Label:     sc.label,
+				Backend:   sc.backend,
+				Config:    sc.cfg,
+				LinkScale: sc.linkScale,
+				Pair:      pair,
+			})
+		}
+	}
+	return points, nil
+}
+
+// RunSweep evaluates every point (in parallel, deterministically per
+// point) and returns results in point order. Each point runs with the
+// shared Options' seed and cycle counts, exactly as pearld's worker
+// would run the equivalent job.
+func RunSweep(ctx context.Context, points []Point, opts Options) ([]Result, error) {
+	return parallelMapCtx(ctx, len(points), func(ctx context.Context, i int) (Result, error) {
+		p := points[i]
+		if p.Backend == "cmesh" {
+			scale := p.LinkScale
+			if scale < 1 {
+				scale = 1
+			}
+			return RunCMESHCtx(ctx, p.Config, p.Pair, opts, scale)
+		}
+		return RunPEARLCtx(ctx, p.Config, p.Pair, opts, nil)
+	})
+}

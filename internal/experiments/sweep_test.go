@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/traffic"
+)
+
+func TestFigureSweepExpansion(t *testing.T) {
+	cases := []struct {
+		name       string
+		configs    int
+		cmeshCount int
+	}{
+		{"fig4", 1, 0},
+		{"fig5", 9, 3},
+		{"fig6", 3, 0},
+		{"fig7", 3, 0},
+		{"fig9", 4, 1},
+		{"fig11", 8, 0},
+	}
+	pairs := traffic.TestPairs()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			points, err := FigureSweep(tc.name, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := tc.configs * len(pairs); len(points) != want {
+				t.Fatalf("%s expanded to %d points, want %d (%d configs x %d pairs)",
+					tc.name, len(points), want, tc.configs, len(pairs))
+			}
+			cmesh := 0
+			for i, p := range points {
+				if p.Backend == "cmesh" {
+					cmesh++
+					if p.LinkScale < 1 {
+						t.Fatalf("point %d: cmesh link scale %d", i, p.LinkScale)
+					}
+				} else if p.Backend != "pearl" {
+					t.Fatalf("point %d: backend %q", i, p.Backend)
+				}
+				if p.Label == "" || p.Pair.CPU.Name == "" {
+					t.Fatalf("point %d underspecified: %+v", i, p)
+				}
+				if p.Config.Power == config.PowerML {
+					t.Fatalf("point %d is an ML configuration; sweeps must exclude them", i)
+				}
+			}
+			if cmesh != tc.cmeshCount*len(pairs) {
+				t.Fatalf("%s has %d cmesh points, want %d", tc.name, cmesh, tc.cmeshCount*len(pairs))
+			}
+			// Configuration-major ordering: the first len(pairs) points
+			// share a label and walk the pair list in order.
+			for i := 0; i < len(pairs); i++ {
+				if points[i].Label != points[0].Label {
+					t.Fatalf("ordering not configuration-major at point %d", i)
+				}
+				if points[i].Pair.Name() != pairs[i].Name() {
+					t.Fatalf("pair order diverges at point %d: %s vs %s", i, points[i].Pair.Name(), pairs[i].Name())
+				}
+			}
+		})
+	}
+}
+
+func TestFigureSweepRestrictedPairs(t *testing.T) {
+	pairs := traffic.TestPairs()[:2]
+	points, err := FigureSweep("fig9", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4*2 {
+		t.Fatalf("restricted fig9 expanded to %d points, want 8", len(points))
+	}
+}
+
+func TestFigureSweepUnknownName(t *testing.T) {
+	_, err := FigureSweep("fig99", nil)
+	if err == nil {
+		t.Fatal("unknown sweep accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown sweep") {
+		t.Fatalf("error %q should name the problem", err)
+	}
+	for _, name := range SweepNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q should list sweep %s", err, name)
+		}
+	}
+}
+
+func TestSweepNamesAllExpand(t *testing.T) {
+	for _, name := range SweepNames() {
+		if _, err := FigureSweep(name, traffic.TestPairs()[:1]); err != nil {
+			t.Fatalf("listed sweep %s does not expand: %v", name, err)
+		}
+	}
+}
+
+func TestRunSweepDeterministic(t *testing.T) {
+	points, err := FigureSweep("fig4", traffic.TestPairs()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seed: 2018, WarmupCycles: 200, MeasureCycles: 2000}
+	first, err := RunSweep(context.Background(), points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunSweep(context.Background(), points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(points) || len(second) != len(points) {
+		t.Fatalf("result counts %d/%d, want %d", len(first), len(second), len(points))
+	}
+	for i := range first {
+		if first[i].Pair.Name() != points[i].Pair.Name() {
+			t.Fatalf("result %d out of point order", i)
+		}
+		a, b := first[i].Metrics.ThroughputBitsPerCycle(), second[i].Metrics.ThroughputBitsPerCycle()
+		if a != b {
+			t.Fatalf("point %d throughput drifted across runs: %v vs %v", i, a, b)
+		}
+		if first[i].Retired != second[i].Retired {
+			t.Fatalf("point %d retired count drifted: %d vs %d", i, first[i].Retired, second[i].Retired)
+		}
+	}
+}
+
+func TestRunSweepHonoursCancellation(t *testing.T) {
+	points, err := FigureSweep("fig4", traffic.TestPairs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSweep(ctx, points, Options{Seed: 2018, WarmupCycles: 200, MeasureCycles: 5_000_000}); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+}

@@ -9,8 +9,17 @@
 //	GET    /v1/jobs/{id}        poll a job -> JobStatus
 //	GET    /v1/jobs/{id}/result fetch a finished job's JobResult
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/batches          submit a (config, pair) sweep (BatchRequest) -> BatchStatus
+//	GET    /v1/batches/{id}     poll a batch: per-point status + aggregate progress
+//	DELETE /v1/batches/{id}     cancel every unfinished point of a batch
 //	GET    /metrics             MetricsSnapshot (queue, counters, latency)
 //	GET    /healthz             liveness probe
+//
+// Results are content-addressed: identical (backend, config, workload,
+// seed, run-length) points hash to the same key and are served from a
+// two-level cache (in-memory LRU over an optional disk store that
+// survives restarts), and concurrent duplicates coalesce onto a single
+// simulation.
 package server
 
 import (
@@ -93,13 +102,6 @@ const (
 // executable spec or a client-facing error.
 func (r JobRequest) resolve(defaultTimeout time.Duration) (jobSpec, error) {
 	spec := jobSpec{backend: r.Backend, linkScale: r.LinkScale, seed: r.Seed}
-	switch spec.backend {
-	case "":
-		spec.backend = BackendPEARL
-	case BackendPEARL, BackendCMESH:
-	default:
-		return jobSpec{}, fmt.Errorf("unknown backend %q (want %q or %q)", r.Backend, BackendPEARL, BackendCMESH)
-	}
 
 	cfg := config.Default()
 	if r.Preset != "" {
@@ -119,21 +121,7 @@ func (r JobRequest) resolve(defaultTimeout time.Duration) (jobSpec, error) {
 	if r.MeasureCycles > 0 {
 		cfg.MeasureCycles = int(r.MeasureCycles)
 	}
-	if err := cfg.Validate(); err != nil {
-		return jobSpec{}, err
-	}
-	if cfg.MeasureCycles > maxMeasureCycles {
-		return jobSpec{}, fmt.Errorf("measure cycles %d above server limit %d", cfg.MeasureCycles, maxMeasureCycles)
-	}
-	if cfg.WarmupCycles > maxWarmupCycles {
-		return jobSpec{}, fmt.Errorf("warmup cycles %d above server limit %d", cfg.WarmupCycles, maxWarmupCycles)
-	}
-	if spec.backend == BackendPEARL && cfg.Power == config.PowerML {
-		return jobSpec{}, fmt.Errorf("power policy ML needs a hosted model; pearld does not serve ML configurations yet (train offline with pearltrain)")
-	}
 	spec.cfg = cfg
-	spec.warmup = int64(cfg.WarmupCycles)
-	spec.measure = int64(cfg.MeasureCycles)
 
 	if r.Workload.CPU == "" || r.Workload.GPU == "" {
 		return jobSpec{}, fmt.Errorf("workload needs both cpu and gpu benchmark names")
@@ -148,17 +136,51 @@ func (r JobRequest) resolve(defaultTimeout time.Duration) (jobSpec, error) {
 	}
 	spec.pair = traffic.Pair{CPU: cpu, GPU: gpu}
 
-	if spec.seed == 0 {
-		spec.seed = 2018
-	}
-	if spec.linkScale <= 0 {
-		spec.linkScale = 1
-	}
-	spec.timeout = defaultTimeout
 	if r.TimeoutMS > 0 {
 		spec.timeout = time.Duration(r.TimeoutMS) * time.Millisecond
 	}
-	return spec, nil
+	return spec.finalize(defaultTimeout)
+}
+
+// finalize validates an assembled spec (from a job request or a batch
+// sweep point) against the server's policy and fills the derived and
+// defaulted fields. It is the single gate every executable spec passes
+// through.
+func (s jobSpec) finalize(defaultTimeout time.Duration) (jobSpec, error) {
+	switch s.backend {
+	case "":
+		s.backend = BackendPEARL
+	case BackendPEARL, BackendCMESH:
+	default:
+		return jobSpec{}, fmt.Errorf("unknown backend %q (want %q or %q)", s.backend, BackendPEARL, BackendCMESH)
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return jobSpec{}, err
+	}
+	if s.cfg.MeasureCycles > maxMeasureCycles {
+		return jobSpec{}, fmt.Errorf("measure cycles %d above server limit %d", s.cfg.MeasureCycles, maxMeasureCycles)
+	}
+	if s.cfg.WarmupCycles > maxWarmupCycles {
+		return jobSpec{}, fmt.Errorf("warmup cycles %d above server limit %d", s.cfg.WarmupCycles, maxWarmupCycles)
+	}
+	if s.backend == BackendPEARL && s.cfg.Power == config.PowerML {
+		return jobSpec{}, fmt.Errorf("power policy ML needs a hosted model; pearld does not serve ML configurations yet (train offline with pearltrain)")
+	}
+	s.warmup = int64(s.cfg.WarmupCycles)
+	s.measure = int64(s.cfg.MeasureCycles)
+	if s.pair.CPU.Name == "" || s.pair.GPU.Name == "" {
+		return jobSpec{}, fmt.Errorf("workload needs both cpu and gpu benchmark names")
+	}
+	if s.seed == 0 {
+		s.seed = 2018
+	}
+	if s.linkScale <= 0 {
+		s.linkScale = 1
+	}
+	if s.timeout <= 0 {
+		s.timeout = defaultTimeout
+	}
+	return s, nil
 }
 
 // applyOverrides merges Go-field-named overrides into cfg via a strict
@@ -250,13 +272,16 @@ func newJobResult(res experiments.Result) *JobResult {
 
 // JobStatus is the poll payload for a job in any state.
 type JobStatus struct {
-	ID          string `json:"id"`
-	State       string `json:"state"`
-	Backend     string `json:"backend"`
-	Config      string `json:"config"`
-	Pair        string `json:"pair"`
-	CacheKey    string `json:"cache_key"`
-	Cached      bool   `json:"cached"`
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Backend  string `json:"backend"`
+	Config   string `json:"config"`
+	Pair     string `json:"pair"`
+	CacheKey string `json:"cache_key"`
+	Cached   bool   `json:"cached"`
+	// Coalesced marks a job that attached to identical in-flight work
+	// (singleflight) instead of simulating on its own.
+	Coalesced   bool   `json:"coalesced,omitempty"`
 	Error       string `json:"error,omitempty"`
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`

@@ -1,0 +1,422 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/traffic"
+)
+
+// maxBatchPoints bounds one batch's expansion; a full figure sweep
+// (9 configurations x 16 pairs for Figure 5) fits comfortably.
+const maxBatchPoints = 256
+
+// BatchRequest is the POST /v1/batches body: one shared configuration
+// (preset + overrides, exactly as in JobRequest) fanned out over a
+// list of workload pairs, or a named figure sweep (see
+// experiments.SweepNames) that fixes the configurations itself and
+// crosses them with the workloads (default: the paper's 16 test
+// pairs). Every expanded point is scheduled as an ordinary job through
+// the bounded queue, deduplicated by content hash against the cache
+// and any identical in-flight work.
+type BatchRequest struct {
+	// Backend, Preset, Config, Seed, cycle overrides, LinkScale and
+	// TimeoutMS are shared by every point, with JobRequest semantics.
+	Backend       string         `json:"backend,omitempty"`
+	Preset        string         `json:"preset,omitempty"`
+	Config        map[string]any `json:"config,omitempty"`
+	Seed          uint64         `json:"seed,omitempty"`
+	WarmupCycles  int64          `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64          `json:"measure_cycles,omitempty"`
+	LinkScale     int            `json:"link_scale,omitempty"`
+	TimeoutMS     int64          `json:"timeout_ms,omitempty"`
+	// Sweep names a figure sweep ("fig5", "fig9", ...). Mutually
+	// exclusive with Backend/Preset/Config/LinkScale, which the sweep
+	// determines per point.
+	Sweep string `json:"sweep,omitempty"`
+	// Workloads lists the benchmark pairs. Required without a sweep;
+	// with one, it restricts the sweep to these pairs.
+	Workloads []WorkloadSpec `json:"workloads,omitempty"`
+	// CancelOnError cancels every unfinished point as soon as any
+	// point fails.
+	CancelOnError bool `json:"cancel_on_error,omitempty"`
+}
+
+// expand resolves the request into fully validated per-point specs, or
+// the first client-facing error.
+func (r BatchRequest) expand(defaultTimeout time.Duration) ([]jobSpec, error) {
+	if r.Sweep != "" {
+		return r.expandSweep(defaultTimeout)
+	}
+	if len(r.Workloads) == 0 {
+		return nil, errors.New("batch needs a non-empty workloads list or a sweep name")
+	}
+	specs := make([]jobSpec, 0, len(r.Workloads))
+	for i, w := range r.Workloads {
+		req := JobRequest{
+			Backend:       r.Backend,
+			Preset:        r.Preset,
+			Config:        r.Config,
+			Workload:      w,
+			Seed:          r.Seed,
+			WarmupCycles:  r.WarmupCycles,
+			MeasureCycles: r.MeasureCycles,
+			LinkScale:     r.LinkScale,
+			TimeoutMS:     r.TimeoutMS,
+		}
+		spec, err := req.resolve(defaultTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("workload %d (%s+%s): %w", i, w.CPU, w.GPU, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func (r BatchRequest) expandSweep(defaultTimeout time.Duration) ([]jobSpec, error) {
+	if r.Backend != "" || r.Preset != "" || len(r.Config) > 0 || r.LinkScale != 0 {
+		return nil, fmt.Errorf("sweep %q fixes the configurations: backend, preset, config and link_scale must be empty", r.Sweep)
+	}
+	var pairs []traffic.Pair
+	for i, w := range r.Workloads {
+		cpu, err := traffic.ProfileByName(w.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("workload %d: %w", i, err)
+		}
+		gpu, err := traffic.ProfileByName(w.GPU)
+		if err != nil {
+			return nil, fmt.Errorf("workload %d: %w", i, err)
+		}
+		pairs = append(pairs, traffic.Pair{CPU: cpu, GPU: gpu})
+	}
+	points, err := experiments.FigureSweep(r.Sweep, pairs)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]jobSpec, 0, len(points))
+	for _, p := range points {
+		cfg := p.Config
+		if r.WarmupCycles > 0 {
+			cfg.WarmupCycles = int(r.WarmupCycles)
+		}
+		if r.MeasureCycles > 0 {
+			cfg.MeasureCycles = int(r.MeasureCycles)
+		}
+		spec := jobSpec{
+			backend:   p.Backend,
+			cfg:       cfg,
+			pair:      p.Pair,
+			linkScale: p.LinkScale,
+			seed:      r.Seed,
+		}
+		if r.TimeoutMS > 0 {
+			spec.timeout = time.Duration(r.TimeoutMS) * time.Millisecond
+		}
+		spec, err := spec.finalize(defaultTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("sweep point %s on %s: %w", p.Label, p.Pair.Name(), err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// Batch tracks one submitted batch: its per-point jobs plus the
+// cancel-on-first-error policy state.
+type Batch struct {
+	ID            string
+	cancelOnError bool
+	submitted     time.Time
+
+	mu        sync.Mutex
+	jobs      []*Job
+	cancelled bool
+}
+
+func (b *Batch) addJob(j *Job) {
+	b.mu.Lock()
+	b.jobs = append(b.jobs, j)
+	b.mu.Unlock()
+}
+
+func (b *Batch) isCancelled() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cancelled
+}
+
+// markCancelled flips the batch to cancelled once; false when it
+// already was.
+func (b *Batch) markCancelled() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cancelled {
+		return false
+	}
+	b.cancelled = true
+	return true
+}
+
+// snapshotJobs copies the job list out from under the lock.
+func (b *Batch) snapshotJobs() []*Job {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*Job(nil), b.jobs...)
+}
+
+// noteTerminal is subscribed to every point; it implements
+// cancel-on-first-error by cancelling the siblings of the first
+// failed point.
+func (b *Batch) noteTerminal(s *Server, j *Job) {
+	if !b.cancelOnError {
+		return
+	}
+	if state, _, _ := j.outcome(); state != StateFailed {
+		return
+	}
+	if !b.markCancelled() {
+		return
+	}
+	b.cancelSiblings(s, j)
+}
+
+// cancelSiblings cancels every non-terminal point except skip,
+// counting queued-side cancellations (running ones are counted by
+// their worker, mirroring DELETE /v1/jobs/{id}).
+func (b *Batch) cancelSiblings(s *Server, skip *Job) {
+	for _, sib := range b.snapshotJobs() {
+		if sib == skip {
+			continue
+		}
+		if signalled, wasPending := sib.Cancel(); signalled && wasPending {
+			s.metrics.jobCancelled()
+		}
+	}
+}
+
+// BatchStatus is the poll payload for a whole batch.
+type BatchStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Total int    `json:"total"`
+	// Per-state point counts.
+	Pending   int `json:"pending"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Cached counts points served without simulating (result cache or
+	// coalesced onto identical in-flight work).
+	Cached int `json:"cached"`
+	// Progress is the terminal fraction in [0,1].
+	Progress    float64     `json:"progress"`
+	SubmittedAt string      `json:"submitted_at"`
+	Points      []JobStatus `json:"points,omitempty"`
+}
+
+// status aggregates the batch's point states.
+func (b *Batch) status(includePoints bool) BatchStatus {
+	jobs := b.snapshotJobs()
+	st := BatchStatus{
+		ID:          b.ID,
+		Total:       len(jobs),
+		SubmittedAt: b.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	for _, j := range jobs {
+		js := j.Status()
+		switch JobState(js.State) {
+		case StatePending:
+			st.Pending++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+		if js.Cached {
+			st.Cached++
+		}
+		if includePoints {
+			st.Points = append(st.Points, js)
+		}
+	}
+	terminal := st.Done + st.Failed + st.Cancelled
+	if st.Total > 0 {
+		st.Progress = float64(terminal) / float64(st.Total)
+	}
+	switch {
+	case terminal == st.Total && st.Failed > 0:
+		st.State = "failed"
+	case terminal == st.Total && st.Cancelled > 0:
+		st.State = "cancelled"
+	case terminal == st.Total:
+		st.State = "done"
+	case st.Running > 0 || terminal > 0:
+		st.State = "running"
+	default:
+		st.State = "pending"
+	}
+	return st
+}
+
+// batchRegistry is the id -> batch table.
+type batchRegistry struct {
+	mu      sync.Mutex
+	batches map[string]*Batch
+}
+
+func newBatchRegistry() *batchRegistry {
+	return &batchRegistry{batches: make(map[string]*Batch)}
+}
+
+func (r *batchRegistry) add(b *Batch) {
+	r.mu.Lock()
+	r.batches[b.ID] = b
+	r.mu.Unlock()
+}
+
+func (r *batchRegistry) get(id string) (*Batch, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.batches[id]
+	return b, ok
+}
+
+// feedRetryInterval paces the batch feeder's retries while the bounded
+// queue is full.
+const feedRetryInterval = 2 * time.Millisecond
+
+// feedBatch trickles the batch's deferred leader jobs into the bounded
+// queue in submission order, waiting out transient queue-full pressure
+// so a batch larger than the queue still completes. It exits when
+// every job is handed off or terminal, or when intake closes for
+// drain (remaining points are cancelled, matching the drain semantics
+// of directly queued jobs). Not tracked by the drain WaitGroup: on
+// shutdown it observes the closed queue within one retry interval and
+// exits on its own.
+func (s *Server) feedBatch(deferred []*Job) {
+	for _, job := range deferred {
+		for {
+			if state, _, _ := job.outcome(); state.Terminal() {
+				break
+			}
+			queued, closed := s.reg.tryEnqueue(job)
+			if queued {
+				break
+			}
+			if closed {
+				if job.cancelIfPending() {
+					s.metrics.jobCancelled()
+				}
+				break
+			}
+			select {
+			case <-job.ctx.Done():
+				// Cancelled (or settled) while waiting for a slot; the
+				// next loop iteration observes the terminal state.
+			case <-time.After(feedRetryInterval):
+			}
+		}
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	specs, err := req.expand(s.opts.DefaultTimeout)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid batch: %v", err)
+		return
+	}
+	if len(specs) > maxBatchPoints {
+		httpError(w, http.StatusBadRequest, "batch expands to %d points (limit %d)", len(specs), maxBatchPoints)
+		return
+	}
+
+	b := &Batch{
+		ID:            fmt.Sprintf("batch-%06d", s.nextBatchID.Add(1)),
+		cancelOnError: req.CancelOnError,
+		submitted:     time.Now(),
+	}
+	s.batches.add(b)
+	s.metrics.batchSubmitted()
+
+	var deferred []*Job
+	allCached := true
+	for _, spec := range specs {
+		s.metrics.jobSubmitted()
+		job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
+		b.addJob(job)
+		job.subscribe(func(j *Job) { b.noteTerminal(s, j) })
+		if b.isCancelled() {
+			// An earlier point already failed and cancel_on_error fired.
+			s.reg.add(job)
+			job.finish(StateCancelled, nil, errors.New("batch cancelled before scheduling"))
+			s.metrics.jobCancelled()
+			allCached = false
+			continue
+		}
+		switch s.admit(job, false) {
+		case admitCached:
+		case admitCoalesced:
+			allCached = false
+		case admitDeferred:
+			allCached = false
+			deferred = append(deferred, job)
+		}
+	}
+	if len(deferred) > 0 {
+		go s.feedBatch(deferred)
+	}
+	code := http.StatusAccepted
+	if allCached {
+		// Every point came straight from the result cache: the batch is
+		// already done, zero simulations scheduled.
+		code = http.StatusOK
+	}
+	writeJSON(w, code, b.status(true))
+}
+
+func (s *Server) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.batches.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	writeJSON(w, http.StatusOK, b.status(true))
+}
+
+func (s *Server) handleBatchCancel(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.batches.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	st := b.status(false)
+	if st.Done+st.Failed+st.Cancelled == st.Total {
+		writeJSON(w, http.StatusConflict, b.status(true))
+		return
+	}
+	b.markCancelled()
+	b.cancelSiblings(s, nil)
+	writeJSON(w, http.StatusAccepted, b.status(true))
+}

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) (int, BatchStatus) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/batches", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st BatchStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// pollBatch polls the batch until pred(status) or the deadline.
+func pollBatch(t *testing.T, ts *httptest.Server, id string, pred func(BatchStatus) bool, deadline time.Duration) BatchStatus {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		var st BatchStatus
+		if code := getJSON(t, ts.URL+"/v1/batches/"+id, &st); code != http.StatusOK {
+			t.Fatalf("poll batch %s: HTTP %d", id, code)
+		}
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("batch %s stuck in state %s (%d/%d terminal) after %v",
+				id, st.State, st.Done+st.Failed+st.Cancelled, st.Total, deadline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// eightPairBatch expands to 8 distinct points: the 4 test-set CPU
+// benchmarks crossed with 2 GPU benchmarks.
+const eightPairBatch = `{"preset":"static-32","warmup_cycles":200,"measure_cycles":2000,"workloads":[
+ {"cpu":"fluidanimate","gpu":"DCT"},{"cpu":"fmm","gpu":"DCT"},
+ {"cpu":"radiosity","gpu":"DCT"},{"cpu":"x264","gpu":"DCT"},
+ {"cpu":"fluidanimate","gpu":"Reduction"},{"cpu":"fmm","gpu":"Reduction"},
+ {"cpu":"radiosity","gpu":"Reduction"},{"cpu":"x264","gpu":"Reduction"}]}`
+
+func TestBatchRequestErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	var many strings.Builder
+	many.WriteString(`{"warmup_cycles":200,"measure_cycles":2000,"workloads":[`)
+	for i := 0; i < maxBatchPoints+1; i++ {
+		if i > 0 {
+			many.WriteString(",")
+		}
+		many.WriteString(`{"cpu":"fmm","gpu":"DCT"}`)
+	}
+	many.WriteString(`]}`)
+
+	cases := []struct {
+		name    string
+		body    string
+		wantErr string
+	}{
+		{"empty request", `{}`, "non-empty workloads list or a sweep name"},
+		{"empty workloads", `{"workloads":[]}`, "non-empty workloads list or a sweep name"},
+		{"unknown preset", `{"preset":"nope","workloads":[{"cpu":"fmm","gpu":"DCT"}]}`, "unknown configuration"},
+		{"unknown benchmark", `{"workloads":[{"cpu":"fmm","gpu":"nope"}]}`, "unknown benchmark"},
+		{"missing gpu", `{"workloads":[{"cpu":"fmm"}]}`, "both cpu and gpu"},
+		{"invalid override field", `{"config":{"Nope":1},"workloads":[{"cpu":"fmm","gpu":"DCT"}]}`, "config overrides"},
+		{"invalid override value", `{"config":{"StaticWavelengths":-3},"workloads":[{"cpu":"fmm","gpu":"DCT"}]}`, "workload 0"},
+		{"unknown top-level field", `{"wrkloads":[{"cpu":"fmm","gpu":"DCT"}]}`, "decoding request"},
+		{"unknown sweep", `{"sweep":"fig99"}`, "unknown sweep"},
+		{"sweep with preset", `{"sweep":"fig4","preset":"static-32"}`, "must be empty"},
+		{"sweep with config", `{"sweep":"fig4","config":{"StaticWavelengths":32}}`, "must be empty"},
+		{"sweep with bad workload", `{"sweep":"fig4","workloads":[{"cpu":"nope","gpu":"DCT"}]}`, "unknown benchmark"},
+		{"oversized batch", many.String(), "limit 256"},
+		{"measure above limit", `{"measure_cycles":6000000,"workloads":[{"cpu":"fmm","gpu":"DCT"}]}`, "above server limit"},
+		{"ml preset rejected", `{"preset":"ml-rw500","workloads":[{"cpu":"fmm","gpu":"DCT"}]}`, "hosted model"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/batches", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+			}
+			var payload map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(payload["error"], tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", payload["error"], tc.wantErr)
+			}
+		})
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/batches/batch-000042", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown batch poll: HTTP %d, want 404", code)
+	}
+}
+
+func TestBatchSubmitDuringDrainGets503(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code, _ := postBatch(t, ts, eightPairBatch); code != http.StatusServiceUnavailable {
+		t.Fatalf("batch submit during drain: HTTP %d, want 503", code)
+	}
+}
+
+func TestBatchLifecycleThroughQueue(t *testing.T) {
+	// QueueDepth 2 < 8 points forces the feeder to trickle points in as
+	// slots free up, exercising the deferred-enqueue path.
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 2})
+	code, st := postBatch(t, ts, eightPairBatch)
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit: HTTP %d, want 202", code)
+	}
+	if st.Total != 8 || len(st.Points) != 8 {
+		t.Fatalf("batch expanded to %d points (%d listed), want 8", st.Total, len(st.Points))
+	}
+	done := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.State == "done" }, 60*time.Second)
+	if done.Done != 8 || done.Progress != 1 {
+		t.Fatalf("finished batch: %+v", done)
+	}
+	for _, p := range done.Points {
+		if p.State != string(StateDone) {
+			t.Fatalf("point %s finished %s (error %q)", p.ID, p.State, p.Error)
+		}
+		var res JobResult
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+p.ID+"/result", &res); code != http.StatusOK {
+			t.Fatalf("point %s result: HTTP %d", p.ID, code)
+		}
+	}
+
+	// Resubmitting the identical batch must be served fully from cache:
+	// zero new simulations, HTTP 200, every point cached.
+	started := snapshotMetrics(t, ts).JobsStarted
+	code, again := postBatch(t, ts, eightPairBatch)
+	if code != http.StatusOK {
+		t.Fatalf("cached batch resubmit: HTTP %d, want 200", code)
+	}
+	if again.State != "done" || again.Cached != 8 {
+		t.Fatalf("cached batch: state %s, %d cached, want done/8", again.State, again.Cached)
+	}
+	if now := snapshotMetrics(t, ts).JobsStarted; now != started {
+		t.Fatalf("cached batch started %d new simulations", now-started)
+	}
+}
+
+func TestBatchDuplicatePointsCoalesce(t *testing.T) {
+	// The same (config, pair, seed) point listed four times must
+	// simulate exactly once; duplicates attach as followers.
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+	body := `{"warmup_cycles":200,"measure_cycles":2000,"workloads":[
+	 {"cpu":"fmm","gpu":"DCT"},{"cpu":"fmm","gpu":"DCT"},
+	 {"cpu":"fmm","gpu":"DCT"},{"cpu":"fmm","gpu":"DCT"}]}`
+	code, st := postBatch(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit: HTTP %d", code)
+	}
+	done := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.State == "done" }, 30*time.Second)
+	if done.Done != 4 {
+		t.Fatalf("batch finished %+v", done)
+	}
+	m := snapshotMetrics(t, ts)
+	if m.JobsStarted != 1 {
+		t.Fatalf("4 duplicate points started %d simulations, want 1", m.JobsStarted)
+	}
+	if m.JobsCoalesced != 3 {
+		t.Fatalf("JobsCoalesced = %d, want 3", m.JobsCoalesced)
+	}
+}
+
+func TestBatchCancel(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 16})
+	body := `{"warmup_cycles":200,"measure_cycles":5000000,"workloads":[
+	 {"cpu":"fluidanimate","gpu":"DCT"},{"cpu":"fmm","gpu":"Reduction"},
+	 {"cpu":"radiosity","gpu":"QuasiRandom"},{"cpu":"x264","gpu":"DwtHaar1D"}]}`
+	code, st := postBatch(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit: HTTP %d", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/batches/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch cancel: HTTP %d, want 202", resp.StatusCode)
+	}
+	done := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.State == "cancelled" }, 30*time.Second)
+	if done.Cancelled == 0 || done.Cancelled+done.Done != done.Total {
+		t.Fatalf("cancelled batch: %+v", done)
+	}
+
+	// Cancelling an already-terminal batch conflicts.
+	resp, err = http.DefaultClient.Do(req.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second cancel: HTTP %d, want 409", resp.StatusCode)
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/batches/"+st.ID, nil); code != http.StatusOK {
+		t.Fatalf("cancelled batch poll: HTTP %d", code)
+	}
+}
+
+func TestBatchCancelOnFirstError(t *testing.T) {
+	// One worker, four long points with a tight per-job timeout: the
+	// first point times out (failed) and cancel_on_error must sweep the
+	// still-queued siblings without running them.
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 16})
+	body := `{"timeout_ms":150,"cancel_on_error":true,"warmup_cycles":200,"measure_cycles":5000000,"workloads":[
+	 {"cpu":"fluidanimate","gpu":"DCT"},{"cpu":"fmm","gpu":"Reduction"},
+	 {"cpu":"radiosity","gpu":"QuasiRandom"},{"cpu":"x264","gpu":"DwtHaar1D"}]}`
+	code, st := postBatch(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit: HTTP %d", code)
+	}
+	done := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.State == "failed" }, 30*time.Second)
+	if done.Failed == 0 || done.Cancelled == 0 {
+		t.Fatalf("cancel-on-error batch: %+v", done)
+	}
+	if done.Failed+done.Cancelled != done.Total {
+		t.Fatalf("cancel-on-error left points unaccounted: %+v", done)
+	}
+}
+
+func TestBatchSweepExpansion(t *testing.T) {
+	// fig9 crosses 4 configurations with the restricted pair list.
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 16})
+	body := `{"sweep":"fig9","seed":7,"warmup_cycles":200,"measure_cycles":2000,"workloads":[
+	 {"cpu":"fmm","gpu":"DCT"},{"cpu":"x264","gpu":"Reduction"}]}`
+	code, st := postBatch(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep batch submit: HTTP %d", code)
+	}
+	if st.Total != 8 {
+		t.Fatalf("fig9 x 2 pairs expanded to %d points, want 8", st.Total)
+	}
+	done := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.State == "done" }, 60*time.Second)
+	backends := map[string]int{}
+	for _, p := range done.Points {
+		backends[p.Backend]++
+	}
+	if backends[BackendPEARL] != 6 || backends[BackendCMESH] != 2 {
+		t.Fatalf("fig9 backends = %v, want 6 pearl + 2 cmesh", backends)
+	}
+}
+
+func snapshotMetrics(t *testing.T, ts *httptest.Server) MetricsSnapshot {
+	t.Helper()
+	var m MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	return m
+}
+
+// TestBatchRestartServedFromDiskCache is the acceptance path: run a
+// batch against a disk-backed server, restart (new Server, same
+// directory, cold LRU), resubmit the identical batch and verify every
+// point is served from the persistent cache with zero re-simulations.
+func TestBatchRestartServedFromDiskCache(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := newTestServer(t, Options{Workers: 2, QueueDepth: 16, CacheDir: dir})
+	code, st := postBatch(t, ts1, eightPairBatch)
+	if code != http.StatusAccepted {
+		t.Fatalf("first batch: HTTP %d", code)
+	}
+	first := pollBatch(t, ts1, st.ID, func(b BatchStatus) bool { return b.State == "done" }, 60*time.Second)
+	results1 := map[string]JobResult{}
+	for _, p := range first.Points {
+		var res JobResult
+		getJSON(t, ts1.URL+"/v1/jobs/"+p.ID+"/result", &res)
+		results1[p.CacheKey] = res
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts1.Close()
+
+	_, ts2 := newTestServer(t, Options{Workers: 2, QueueDepth: 16, CacheDir: dir})
+	code, again := postBatch(t, ts2, eightPairBatch)
+	if code != http.StatusOK {
+		t.Fatalf("post-restart batch: HTTP %d, want 200 (all cached)", code)
+	}
+	if again.State != "done" || again.Cached != 8 || again.Done != 8 {
+		t.Fatalf("post-restart batch: %+v", again)
+	}
+	m := snapshotMetrics(t, ts2)
+	if m.JobsStarted != 0 {
+		t.Fatalf("restart re-simulated %d points, want 0", m.JobsStarted)
+	}
+	if m.CacheHits != 8 || m.CacheDiskHits != 8 {
+		t.Fatalf("restart cache hits = %d (disk %d), want 8/8", m.CacheHits, m.CacheDiskHits)
+	}
+	if m.CacheDiskEntries < 8 {
+		t.Fatalf("disk cache holds %d entries, want >= 8", m.CacheDiskEntries)
+	}
+	for _, p := range again.Points {
+		var res JobResult
+		if code := getJSON(t, ts2.URL+"/v1/jobs/"+p.ID+"/result", &res); code != http.StatusOK {
+			t.Fatalf("cached point %s result: HTTP %d", p.ID, code)
+		}
+		want, ok := results1[p.CacheKey]
+		if !ok {
+			t.Fatalf("point %s has key %s unseen in the first run", p.ID, p.CacheKey)
+		}
+		if fmt.Sprintf("%+v", res) != fmt.Sprintf("%+v", want) {
+			t.Fatalf("point %s result drifted across restart:\n  first  %+v\n  second %+v", p.ID, want, res)
+		}
+	}
+}

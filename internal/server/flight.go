@@ -1,0 +1,120 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// flightTable coalesces concurrently in-flight jobs that share a cache
+// key: the first submission becomes the leader and simulates; later
+// identical submissions attach as followers and inherit the leader's
+// outcome without re-executing. Combined with the result cache this
+// gives exactly-once simulation per content hash no matter how many
+// clients race on the same point.
+type flightTable struct {
+	mu       sync.Mutex
+	inflight map[string]*Job
+}
+
+func newFlightTable() *flightTable {
+	return &flightTable{inflight: make(map[string]*Job)}
+}
+
+// remove drops the leader for key, but only if it is still the mapped
+// job — a later leader for the same key must not be evicted by a stale
+// completion.
+func (f *flightTable) remove(key string, leader *Job) {
+	f.mu.Lock()
+	if f.inflight[key] == leader {
+		delete(f.inflight, key)
+	}
+	f.mu.Unlock()
+}
+
+// admission classifies how a resolved job entered the system.
+type admission int
+
+const (
+	// admitCached: finished at submit straight from the result cache.
+	admitCached admission = iota
+	// admitCoalesced: attached as a follower of an identical in-flight
+	// job.
+	admitCoalesced
+	// admitQueued: became a leader and entered the bounded queue.
+	admitQueued
+	// admitDeferred: became a leader but enqueueing was left to the
+	// caller (batch feeders trickle points in as slots free up).
+	admitDeferred
+	// admitRejected: the bounded queue was full; the job failed.
+	admitRejected
+)
+
+// admit routes a freshly resolved job through the cache and
+// singleflight layers and registers it. When enqueue is false the
+// caller owns getting leader jobs into the queue (see batch feeding).
+func (s *Server) admit(job *Job, enqueue bool) admission {
+	if result, disk, ok := s.lookup(job.key); ok {
+		s.metrics.cacheHit(disk)
+		job.finishCached(result)
+		s.reg.add(job)
+		return admitCached
+	}
+	s.metrics.cacheMissed()
+	s.reg.add(job)
+
+	s.flight.mu.Lock()
+	if leader, ok := s.flight.inflight[job.key]; ok {
+		// Subscribe outside flight.mu: an already-terminal leader runs
+		// the callback inline, and the resulting notify chain (batch
+		// cancel-on-error cancelling sibling leaders) re-enters the
+		// flight table.
+		s.flight.mu.Unlock()
+		job.markFollower()
+		s.metrics.jobCoalesced()
+		leader.subscribe(func(l *Job) { s.settleFollower(job, l) })
+		return admitCoalesced
+	}
+	// The leader may have completed between the cache lookup and taking
+	// the lock; results are published to the cache before the flight
+	// entry is removed, so re-checking the memory cache here closes that
+	// window.
+	if result, ok := s.cache.Get(job.key); ok {
+		s.flight.mu.Unlock()
+		s.metrics.cacheHit(false)
+		job.finishCached(result)
+		return admitCached
+	}
+	s.flight.inflight[job.key] = job
+	s.flight.mu.Unlock()
+	job.subscribe(func(*Job) { s.flight.remove(job.key, job) })
+
+	if !enqueue {
+		return admitDeferred
+	}
+	if !s.reg.enqueue(job) {
+		s.metrics.jobRejected()
+		job.finish(StateFailed, nil, fmt.Errorf("queue full (%d jobs)", s.opts.QueueDepth))
+		return admitRejected
+	}
+	return admitQueued
+}
+
+// settleFollower resolves a coalesced follower from its leader's
+// terminal outcome. Followers share the leader's fate: a cancelled or
+// failed leader cancels/fails them too (duplicates are one unit of
+// work by construction).
+func (s *Server) settleFollower(follower, leader *Job) {
+	state, result, err := leader.outcome()
+	switch state {
+	case StateDone:
+		follower.finishCached(result)
+	case StateCancelled:
+		follower.finish(StateCancelled, nil, fmt.Errorf("coalesced with %s, which was cancelled", leader.ID))
+	default:
+		if err == nil {
+			err = errors.New("unknown failure")
+		}
+		follower.finish(StateFailed, nil, fmt.Errorf("coalesced with %s, which failed: %w", leader.ID, err))
+	}
+}

@@ -18,8 +18,13 @@ type metrics struct {
 	failed    uint64
 	cancelled uint64
 	rejected  uint64
+	coalesced uint64
+	batches   uint64
 	cacheHits uint64
 	cacheMiss uint64
+	diskHits  uint64
+	diskErrs  uint64
+	warmed    uint64
 	busy      int
 	workers   int
 	latency   *stats.Histogram // seconds per completed job
@@ -34,12 +39,32 @@ func newMetrics(workers int) *metrics {
 	}
 }
 
-func (m *metrics) jobSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
-func (m *metrics) jobRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *metrics) jobCancelled() { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
-func (m *metrics) jobFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
-func (m *metrics) cacheHit()     { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
-func (m *metrics) cacheMissed()  { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
+func (m *metrics) jobSubmitted()   { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) jobRejected()    { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) jobCancelled()   { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
+func (m *metrics) jobFailed()      { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *metrics) jobCoalesced()   { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *metrics) batchSubmitted() { m.mu.Lock(); m.batches++; m.mu.Unlock() }
+func (m *metrics) cacheMissed()    { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
+func (m *metrics) diskCacheError() { m.mu.Lock(); m.diskErrs++; m.mu.Unlock() }
+
+// cacheHit records a result served without simulating; disk marks hits
+// the memory LRU missed but the persistent store satisfied.
+func (m *metrics) cacheHit(disk bool) {
+	m.mu.Lock()
+	m.cacheHits++
+	if disk {
+		m.diskHits++
+	}
+	m.mu.Unlock()
+}
+
+// cacheWarmed accumulates entries preloaded by WarmCache.
+func (m *metrics) cacheWarmed(n int) {
+	m.mu.Lock()
+	m.warmed += uint64(n)
+	m.mu.Unlock()
+}
 
 func (m *metrics) jobStarted() {
 	m.mu.Lock()
@@ -76,38 +101,62 @@ type MetricsSnapshot struct {
 	JobsFailed        uint64  `json:"jobs_failed"`
 	JobsCancelled     uint64  `json:"jobs_cancelled"`
 	JobsRejected      uint64  `json:"jobs_rejected"`
-	CacheHits         uint64  `json:"cache_hits"`
-	CacheMisses       uint64  `json:"cache_misses"`
-	CacheHitRate      float64 `json:"cache_hit_rate"`
-	CacheEntries      int     `json:"cache_entries"`
-	JobLatencyMeanS   float64 `json:"job_latency_mean_s"`
-	JobLatencyP50S    float64 `json:"job_latency_p50_s"`
-	JobLatencyP99S    float64 `json:"job_latency_p99_s"`
+	// JobsCoalesced counts submissions that attached to identical
+	// in-flight work instead of simulating (singleflight).
+	JobsCoalesced    uint64  `json:"jobs_coalesced"`
+	BatchesSubmitted uint64  `json:"batches_submitted"`
+	CacheHits        uint64  `json:"cache_hits"`
+	CacheMisses      uint64  `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CacheEntries     int     `json:"cache_entries"`
+	// Disk layer of the result cache (zero-valued when -cache-dir is
+	// not configured).
+	CacheDiskHits    uint64  `json:"cache_disk_hits"`
+	CacheDiskEntries int     `json:"cache_disk_entries"`
+	CacheDiskBytes   int64   `json:"cache_disk_bytes"`
+	CacheDiskErrors  uint64  `json:"cache_disk_errors"`
+	CacheWarmed      uint64  `json:"cache_warmed_entries"`
+	JobLatencyMeanS  float64 `json:"job_latency_mean_s"`
+	JobLatencyP50S   float64 `json:"job_latency_p50_s"`
+	JobLatencyP99S   float64 `json:"job_latency_p99_s"`
+}
+
+// diskSnapshot carries the disk store's live footprint into snapshot.
+type diskSnapshot struct {
+	entries int
+	bytes   int64
 }
 
 // snapshot captures a consistent view for the metrics endpoint.
-func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries int) MetricsSnapshot {
+func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries int, disk diskSnapshot) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	q := m.latency.Percentiles(50, 99)
 	s := MetricsSnapshot{
-		UptimeSeconds:   time.Since(m.upSince).Seconds(),
-		QueueDepth:      queueDepth,
-		QueueCapacity:   queueCap,
-		Workers:         m.workers,
-		WorkersBusy:     m.busy,
-		JobsSubmitted:   m.submitted,
-		JobsStarted:     m.started,
-		JobsCompleted:   m.completed,
-		JobsFailed:      m.failed,
-		JobsCancelled:   m.cancelled,
-		JobsRejected:    m.rejected,
-		CacheHits:       m.cacheHits,
-		CacheMisses:     m.cacheMiss,
-		CacheEntries:    cacheEntries,
-		JobLatencyMeanS: m.latency.Mean(),
-		JobLatencyP50S:  q[0],
-		JobLatencyP99S:  q[1],
+		UptimeSeconds:    time.Since(m.upSince).Seconds(),
+		QueueDepth:       queueDepth,
+		QueueCapacity:    queueCap,
+		Workers:          m.workers,
+		WorkersBusy:      m.busy,
+		JobsSubmitted:    m.submitted,
+		JobsStarted:      m.started,
+		JobsCompleted:    m.completed,
+		JobsFailed:       m.failed,
+		JobsCancelled:    m.cancelled,
+		JobsRejected:     m.rejected,
+		JobsCoalesced:    m.coalesced,
+		BatchesSubmitted: m.batches,
+		CacheHits:        m.cacheHits,
+		CacheMisses:      m.cacheMiss,
+		CacheEntries:     cacheEntries,
+		CacheDiskHits:    m.diskHits,
+		CacheDiskEntries: disk.entries,
+		CacheDiskBytes:   disk.bytes,
+		CacheDiskErrors:  m.diskErrs,
+		CacheWarmed:      m.warmed,
+		JobLatencyMeanS:  m.latency.Mean(),
+		JobLatencyP50S:   q[0],
+		JobLatencyP99S:   q[1],
 	}
 	if m.workers > 0 {
 		s.WorkerUtilization = float64(m.busy) / float64(m.workers)

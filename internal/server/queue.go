@@ -40,6 +40,9 @@ type Job struct {
 	err       error
 	result    *JobResult
 	cached    bool
+	coalesced bool
+	follower  bool
+	subs      []func(*Job)
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -58,36 +61,94 @@ func newJob(id string, spec jobSpec, parent context.Context) *Job {
 	}
 }
 
+// subscribe registers fn to run exactly once when the job reaches a
+// terminal state (on whatever goroutine drives the transition, with no
+// job lock held). Subscribing to an already-terminal job invokes fn
+// immediately. This is the primitive both the singleflight layer
+// (followers awaiting a leader) and batch cancel-on-first-error build
+// on.
+func (j *Job) subscribe(fn func(*Job)) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		fn(j)
+		return
+	}
+	j.subs = append(j.subs, fn)
+	j.mu.Unlock()
+}
+
+// takeSubsLocked detaches the pending subscribers; callers hold mu and
+// invoke them after unlocking.
+func (j *Job) takeSubsLocked() []func(*Job) {
+	subs := j.subs
+	j.subs = nil
+	return subs
+}
+
+func notify(j *Job, subs []func(*Job)) {
+	for _, fn := range subs {
+		fn(j)
+	}
+}
+
+// markFollower tags the job as a singleflight follower: it is never
+// enqueued and resolves when its leader does, so the drain path leaves
+// it alone (cancelIfPending skips followers).
+func (j *Job) markFollower() {
+	j.mu.Lock()
+	j.follower = true
+	j.coalesced = true
+	j.mu.Unlock()
+}
+
+// outcome snapshots the terminal state, payload and error.
+func (j *Job) outcome() (JobState, *JobResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.err
+}
+
 // Cancel requests cancellation. Queued jobs flip to cancelled
 // immediately (wasPending true); running jobs stop at the next
 // simulation chunk boundary and are marked cancelled by their worker.
 // signalled is false when the job had already reached a terminal state.
 func (j *Job) Cancel() (signalled, wasPending bool) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return false, false
 	}
 	j.cancel()
 	if j.state == StatePending {
 		j.state = StateCancelled
 		j.finished = time.Now()
+		subs := j.takeSubsLocked()
+		j.mu.Unlock()
+		notify(j, subs)
 		return true, true
 	}
+	j.mu.Unlock()
 	return true, false
 }
 
 // cancelIfPending flips a still-queued job to cancelled without
 // touching running ones — drain wants in-flight work to finish.
+// Singleflight followers are skipped: they resolve when their leader
+// does (the leader is either running, and will finish during drain, or
+// pending, and will be cancelled here itself).
 func (j *Job) cancelIfPending() bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.state != StatePending {
+	if j.state != StatePending || j.follower {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateCancelled
 	j.finished = time.Now()
 	j.cancel()
+	subs := j.takeSubsLocked()
+	j.mu.Unlock()
+	notify(j, subs)
 	return true
 }
 
@@ -107,26 +168,36 @@ func (j *Job) markRunning() bool {
 // finish records the terminal state, releasing the job's context.
 func (j *Job) finish(state JobState, result *JobResult, err error) {
 	j.mu.Lock()
+	var subs []func(*Job)
 	if !j.state.Terminal() {
 		j.state = state
 		j.result = result
 		j.err = err
 		j.finished = time.Now()
+		subs = j.takeSubsLocked()
 	}
 	j.mu.Unlock()
 	j.cancel()
+	notify(j, subs)
 }
 
-// finishCached marks a job resolved from the result cache at submit.
+// finishCached marks a job resolved from the result cache (or a
+// singleflight leader) without executing. No-op once terminal — a
+// follower may have been cancelled before its leader settled it.
 func (j *Job) finishCached(result *JobResult) {
 	j.mu.Lock()
-	j.state = StateDone
-	j.result = result
-	j.cached = true
-	j.started = j.submitted
-	j.finished = time.Now()
+	var subs []func(*Job)
+	if !j.state.Terminal() {
+		j.state = StateDone
+		j.result = result
+		j.cached = true
+		j.started = j.submitted
+		j.finished = time.Now()
+		subs = j.takeSubsLocked()
+	}
 	j.mu.Unlock()
 	j.cancel()
+	notify(j, subs)
 }
 
 // Result returns the payload and whether the job is done.
@@ -148,6 +219,7 @@ func (j *Job) Status() JobStatus {
 		Pair:        j.spec.pair.Name(),
 		CacheKey:    j.key,
 		Cached:      j.cached,
+		Coalesced:   j.coalesced,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if j.err != nil {
@@ -201,16 +273,25 @@ func (r *registry) get(id string) (*Job, bool) {
 // enqueue offers the job to the bounded queue without blocking;
 // false means the queue is full or draining (callers answer 503).
 func (r *registry) enqueue(j *Job) bool {
+	queued, _ := r.tryEnqueue(j)
+	return queued
+}
+
+// tryEnqueue is enqueue with the failure cause split out: closed means
+// the daemon is draining and the job will never be accepted, while
+// !queued && !closed is transient queue-full pressure a batch feeder
+// may retry.
+func (r *registry) tryEnqueue(j *Job) (queued, closed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return false
+		return false, true
 	}
 	select {
 	case r.queue <- j:
-		return true
+		return true, false
 	default:
-		return false
+		return false, false
 	}
 }
 

@@ -21,6 +21,13 @@ type Options struct {
 	// CacheCapacity bounds the content-addressed result cache entries
 	// (default 1024, LRU eviction).
 	CacheCapacity int
+	// CacheDir, when non-empty, enables the disk-persistent result
+	// cache layered under the LRU: results survive restarts and are
+	// promoted back into memory on first use.
+	CacheDir string
+	// CacheDirMaxBytes caps the disk cache footprint (default 256 MiB);
+	// the oldest entries are evicted past it.
+	CacheDirMaxBytes int64
 	// DefaultTimeout bounds each job's wall-clock runtime unless the
 	// request overrides it (default 5 minutes).
 	DefaultTimeout time.Duration
@@ -48,41 +55,92 @@ type Server struct {
 	opts    Options
 	reg     *registry
 	cache   *resultCache
+	disk    *diskStore // nil without Options.CacheDir
+	flight  *flightTable
+	batches *batchRegistry
 	metrics *metrics
 	mux     *http.ServeMux
 
-	rootCtx    context.Context
-	rootCancel context.CancelFunc
-	wg         sync.WaitGroup
-	draining   atomic.Bool
-	drainOnce  sync.Once
-	nextID     atomic.Uint64
+	rootCtx     context.Context
+	rootCancel  context.CancelFunc
+	wg          sync.WaitGroup
+	draining    atomic.Bool
+	drainOnce   sync.Once
+	nextID      atomic.Uint64
+	nextBatchID atomic.Uint64
 }
 
-// New builds a server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a server and starts its worker pool. The only error path
+// is an unusable Options.CacheDir.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
 		reg:        newRegistry(opts.QueueDepth),
 		cache:      newResultCache(opts.CacheCapacity),
+		flight:     newFlightTable(),
+		batches:    newBatchRegistry(),
 		metrics:    newMetrics(opts.Workers),
 		mux:        http.NewServeMux(),
 		rootCtx:    ctx,
 		rootCancel: cancel,
 	}
+	if opts.CacheDir != "" {
+		disk, err := newDiskStore(opts.CacheDir, opts.CacheDirMaxBytes)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.disk = disk
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
+	s.mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// lookup checks the memory LRU, then the disk store; disk hits are
+// promoted into the LRU. The second return reports a disk-layer hit.
+// Disk corruption is tolerated as a miss (and counted) — the point
+// re-simulates and the atomic Put overwrites the bad file.
+func (s *Server) lookup(key string) (*JobResult, bool, bool) {
+	if result, ok := s.cache.Get(key); ok {
+		return result, false, true
+	}
+	if s.disk == nil {
+		return nil, false, false
+	}
+	result, err := s.disk.Get(key)
+	if err != nil {
+		s.metrics.diskCacheError()
+		return nil, false, false
+	}
+	if result == nil {
+		return nil, false, false
+	}
+	s.cache.Put(key, result)
+	return result, true, true
+}
+
+// store publishes a result to both cache layers.
+func (s *Server) store(key string, result *JobResult) {
+	s.cache.Put(key, result)
+	if s.disk != nil {
+		if err := s.disk.Put(key, result); err != nil {
+			s.metrics.diskCacheError()
+		}
+	}
 }
 
 // ServeHTTP makes the server mountable anywhere an http.Handler fits.
@@ -141,22 +199,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.jobSubmitted()
 	job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
-	if cached, ok := s.cache.Get(job.key); ok {
-		s.metrics.cacheHit()
-		job.finishCached(cached)
-		s.reg.add(job)
+	switch s.admit(job, true) {
+	case admitCached:
 		writeJSON(w, http.StatusOK, job.Status())
-		return
-	}
-	s.metrics.cacheMissed()
-	s.reg.add(job)
-	if !s.reg.enqueue(job) {
-		s.metrics.jobRejected()
-		job.finish(StateFailed, nil, fmt.Errorf("queue full (%d jobs)", s.opts.QueueDepth))
+	case admitRejected:
 		httpError(w, http.StatusServiceUnavailable, "queue full, retry later")
-		return
+	default: // queued or coalesced onto in-flight work
+		writeJSON(w, http.StatusAccepted, job.Status())
 	}
-	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -200,8 +250,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var disk diskSnapshot
+	if s.disk != nil {
+		disk.entries, disk.bytes = s.disk.stats()
+	}
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len()))
+		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len(), disk))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -15,7 +15,10 @@ import (
 // with a forced shutdown at test end.
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -82,9 +85,10 @@ const quickJob = `{"workload":{"cpu":"fmm","gpu":"DCT"},"warmup_cycles":200,"mea
 // running state and cancellation; tests never let it finish.
 const longJob = `{"workload":{"cpu":"canneal","gpu":"MatrixMultiply"},"warmup_cycles":200,"measure_cycles":5000000}`
 
-// mediumJob is long enough to reliably observe running (~1.5s under
-// -race) yet completes quickly when drained.
-const mediumJob = `{"workload":{"cpu":"fmm","gpu":"DCT"},"seed":31,"warmup_cycles":200,"measure_cycles":30000}`
+// mediumJob is long enough that a job observed running still has
+// hundreds of milliseconds left (the drain test posts a second job and
+// shuts down inside that window) yet completes quickly when drained.
+const mediumJob = `{"workload":{"cpu":"fmm","gpu":"DCT"},"seed":31,"warmup_cycles":200,"measure_cycles":300000}`
 
 func TestSubmitPollFetchLifecycle(t *testing.T) {
 	s, ts := newTestServer(t, Options{Workers: 2})
@@ -368,7 +372,10 @@ func TestResultBeforeDoneConflicts(t *testing.T) {
 }
 
 func TestShutdownDrainsInFlightAndCancelsQueued(t *testing.T) {
-	s := New(Options{Workers: 1, QueueDepth: 4})
+	s, err := New(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -410,7 +417,10 @@ func statusOf(t *testing.T, s *Server, id string) JobStatus {
 }
 
 func TestForcedShutdownCancelsInFlight(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	_, st := postJob(t, ts, longJob)

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeBody drains and closes an HTTP response into out.
+func decodeBody(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// TestConcurrentDuplicateSubmissionsSimulateOnce hammers the daemon
+// with many goroutines racing on a handful of distinct content hashes
+// and asserts the exactly-once invariant: no matter how the races
+// interleave (first-submit vs in-flight coalescing vs cache hit), each
+// unique hash is simulated exactly once and every submission settles
+// with the same completed result. Run under -race this also vets the
+// flight table and cache layering for data races.
+func TestConcurrentDuplicateSubmissionsSimulateOnce(t *testing.T) {
+	const (
+		uniqueSpecs = 4
+		submitters  = 8
+	)
+	_, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 256})
+
+	body := func(seed int) string {
+		return fmt.Sprintf(`{"workload":{"cpu":"fmm","gpu":"DCT"},"seed":%d,"warmup_cycles":200,"measure_cycles":2000}`, seed+1)
+	}
+
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		ids []string
+	)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < uniqueSpecs; i++ {
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+					strings.NewReader(body(i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st JobStatus
+				err = decodeBody(resp, &st)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+					t.Errorf("submit: HTTP %d", resp.StatusCode)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, st.ID)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(ids) != uniqueSpecs*submitters {
+		t.Fatalf("submitted %d jobs, want %d", len(ids), uniqueSpecs*submitters)
+	}
+
+	// Every submission — leader, follower or cache hit — must complete.
+	byKey := map[string]string{}
+	for _, id := range ids {
+		st := pollUntil(t, ts, id, func(s JobStatus) bool { return JobState(s.State).Terminal() }, 60*time.Second)
+		if st.State != string(StateDone) {
+			t.Fatalf("job %s finished %s (error %q)", id, st.State, st.Error)
+		}
+		var res JobResult
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+			t.Fatalf("job %s result: HTTP %d", id, code)
+		}
+		flat := fmt.Sprintf("%+v", res)
+		if prev, ok := byKey[st.CacheKey]; ok && prev != flat {
+			t.Fatalf("key %s yielded two different results:\n%s\nvs\n%s", st.CacheKey, prev, flat)
+		}
+		byKey[st.CacheKey] = flat
+	}
+	if len(byKey) != uniqueSpecs {
+		t.Fatalf("observed %d distinct content hashes, want %d", len(byKey), uniqueSpecs)
+	}
+
+	m := snapshotMetrics(t, ts)
+	if m.JobsStarted != uniqueSpecs {
+		t.Fatalf("%d submissions over %d unique hashes started %d simulations, want exactly %d",
+			len(ids), uniqueSpecs, m.JobsStarted, uniqueSpecs)
+	}
+	if m.JobsCompleted != uniqueSpecs {
+		t.Fatalf("JobsCompleted = %d, want %d", m.JobsCompleted, uniqueSpecs)
+	}
+	if got := m.JobsCoalesced + m.CacheHits + uniqueSpecs; got != uint64(len(ids)) {
+		t.Fatalf("accounting leak: %d coalesced + %d cache hits + %d leaders != %d submissions",
+			m.JobsCoalesced, m.CacheHits, uniqueSpecs, len(ids))
+	}
+}
+
+// TestDrainLosesNoCompletions starts a drain while duplicate-heavy
+// traffic is mid-flight and asserts every job (leaders, followers,
+// batch points) still reaches a terminal state: nothing is left
+// pending or running once Shutdown returns, and the terminal counts
+// add up.
+func TestDrainLosesNoCompletions(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 4})
+
+	// A slow leader with followers (coalesced duplicates)...
+	slow := `{"workload":{"cpu":"fmm","gpu":"DCT"},"seed":99,"warmup_cycles":200,"measure_cycles":40000}`
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, st := postJob(t, ts, slow)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+	// ...plus a batch larger than the queue, so its feeder is still
+	// trickling deferred points when the drain closes intake.
+	code, batch := postBatch(t, ts, eightPairBatch)
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit: HTTP %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	for _, id := range ids {
+		st := statusOf(t, s, id)
+		if !JobState(st.State).Terminal() {
+			t.Fatalf("job %s not terminal after drain: %s", id, st.State)
+		}
+	}
+	// The batch feeder observes the closed queue and cancels what never
+	// made it in; everything else ran to completion or was cancelled
+	// from the queue.
+	bs, ok := s.batches.get(batch.ID)
+	if !ok {
+		t.Fatalf("batch %s missing after drain", batch.ID)
+	}
+	// The feeder cancels deferred points within one retry interval of
+	// intake closing; give it a moment before asserting.
+	deadline := time.Now().Add(5 * time.Second)
+	var final BatchStatus
+	for {
+		final = bs.status(false)
+		if final.Pending == 0 && final.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch still has live points after drain: %+v", final)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.Done+final.Failed+final.Cancelled != final.Total {
+		t.Fatalf("batch terminal counts do not add up after drain: %+v", final)
+	}
+}

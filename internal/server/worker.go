@@ -52,7 +52,10 @@ func (s *Server) runJob(job *Job) {
 	switch {
 	case err == nil:
 		payload := newJobResult(res)
-		s.cache.Put(job.key, payload)
+		// Publish to the cache layers BEFORE finishing: finish fires the
+		// flight-table removal, and any duplicate admitted after that
+		// must find the result in the cache (exactly-once invariant).
+		s.store(job.key, payload)
 		job.finish(StateDone, payload, nil)
 		s.metrics.jobCompleted(elapsed)
 	case errors.Is(err, context.Canceled):
