@@ -11,6 +11,7 @@
 //	pearlbench -out results.txt
 //	pearlbench -json BENCH_quick.json   # machine-readable timings
 //	pearlbench -sweep fig5 -cache-out warm_fig5.json   # cache-warming artifact
+//	pearlbench -figure 5 -cpuprofile cpu.out -memprofile mem.out
 //
 // The -sweep mode evaluates a named figure sweep (fig4, fig5, fig6,
 // fig7, fig9, fig11) point by point and, with -cache-out, writes the
@@ -27,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,19 +36,62 @@ import (
 	"repro/internal/server"
 )
 
+// main defers to realMain so that deferred cleanup — profile writers in
+// particular — runs on every exit path; os.Exit skips defers, so it is
+// called exactly once, here.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		full     = flag.Bool("full", false, "paper-scale runs (16 pairs, 60k cycles)")
-		check    = flag.Bool("check", false, "run the machine-verifiable paper-claim shape checks")
-		figure   = flag.String("figure", "all", "which artifact: all, t1, t2, t5, 4..11, nrmse, ab-step, ab-bounds, ab-thresholds, ab-window, ab-features, ab-label, extensions, thermal")
-		out      = flag.String("out", "", "also write results to this file")
-		jsonOut  = flag.String("json", "", "write machine-readable per-artifact benchmark records (name, iters, ns/op, bytes/op) to this file")
-		md       = flag.Bool("md", false, "emit a single Markdown report (all artifacts + shape checks)")
-		seed     = flag.Uint64("seed", 2018, "experiment seed")
-		sweep    = flag.String("sweep", "", "evaluate a named figure sweep ("+strings.Join(experiments.SweepNames(), ", ")+")")
-		cacheOut = flag.String("cache-out", "", "with -sweep: write results as a pearld cache-warming artifact (JSON)")
+		full       = flag.Bool("full", false, "paper-scale runs (16 pairs, 60k cycles)")
+		check      = flag.Bool("check", false, "run the machine-verifiable paper-claim shape checks")
+		figure     = flag.String("figure", "all", "which artifact: all, t1, t2, t5, 4..11, nrmse, ab-step, ab-bounds, ab-thresholds, ab-window, ab-features, ab-label, extensions, thermal")
+		out        = flag.String("out", "", "also write results to this file")
+		jsonOut    = flag.String("json", "", "write machine-readable per-artifact benchmark records (name, iters, ns/op, bytes/op) to this file")
+		md         = flag.Bool("md", false, "emit a single Markdown report (all artifacts + shape checks)")
+		seed       = flag.Uint64("seed", 2018, "experiment seed")
+		sweep      = flag.String("sweep", "", "evaluate a named figure sweep ("+strings.Join(experiments.SweepNames(), ", ")+")")
+		cacheOut   = flag.String("cache-out", "", "with -sweep: write results as a pearld cache-warming artifact (JSON)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "pearlbench:", err)
+		return 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pearlbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pearlbench:", err)
+			}
+		}()
+	}
 
 	opts := experiments.Quick()
 	if *full {
@@ -58,8 +103,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pearlbench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
@@ -67,34 +111,31 @@ func main() {
 
 	if *sweep != "" {
 		if err := runSweep(w, opts, *sweep, *cacheOut); err != nil {
-			fmt.Fprintln(os.Stderr, "pearlbench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	if *md {
 		if err := experiments.NewSuite(opts).WriteMarkdownReport(w); err != nil {
-			fmt.Fprintln(os.Stderr, "pearlbench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	if *check {
 		report, err := experiments.NewSuite(opts).RunShapeChecks()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pearlbench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Fprint(w, report)
 		if !report.AllPassed() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if err := run(w, opts, *figure, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "pearlbench:", err)
-		os.Exit(1)
+		return fail(err)
 	}
+	return 0
 }
 
 // runSweep evaluates a named figure sweep and optionally exports the

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,8 +42,13 @@ func main() {
 		warmCache   = flag.String("warm-cache", "", "JSON artifact file or directory to preload the cache from")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
 		drainGrace  = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); kept off the API listener so profiling is never exposed with it")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	opts := server.Options{
 		Workers:          *workers,
@@ -55,6 +61,23 @@ func main() {
 	if err := run(*addr, opts, *warmCache, *drainGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "pearld:", err)
 		os.Exit(1)
+	}
+}
+
+// servePprof exposes the standard pprof handlers on their own listener,
+// on an explicit mux rather than http.DefaultServeMux so nothing else
+// registered there leaks out with them.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Printf("pearld: pprof listening on %s", addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("pearld: pprof listener: %v", err)
 	}
 }
 

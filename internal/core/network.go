@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/config"
@@ -72,7 +73,7 @@ func New(engine *sim.Engine, cfg config.Config) (*Network, error) {
 		n.initialState = photonic.WL64
 		n.policy = nil // set via SetPredictor or SetStatePolicy
 	default:
-		return nil, fmt.Errorf("core: unknown power policy %v", cfg.Power)
+		return nil, errors.New("core: unknown power policy " + cfg.Power.String())
 	}
 	for i := range n.routers {
 		n.routers[i] = newRouter(i, n)
@@ -152,6 +153,12 @@ func (n *Network) Tick(cycle int64) {
 	if n.acct != nil {
 		n.acct.AddCycle()
 	}
+}
+
+// HandleEvent implements sim.Handler for the typed arrival events
+// scheduled by Router.finish: ptr is the packet, arg its class.
+func (n *Network) HandleEvent(cycle int64, ptr any, arg int64) {
+	n.arrive(ptr.(*noc.Packet), noc.Class(arg), cycle)
 }
 
 // arrive lands a transmitted packet in its destination's receive buffer;

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 
 	"repro/internal/config"
 	"repro/internal/features"
@@ -62,8 +62,19 @@ type Router struct {
 	// tx holds the per-class transmitters; the L3 router gets
 	// L3SendChannels per class.
 	tx [noc.NumClasses][]transmitter
+	// txActive counts busy transmitters per packet class (indexed by the
+	// in-flight packet's class, not the serializer bank — FCFS serializes
+	// both classes through tx[0]). It makes txBusy/linkBusy O(1) and lets
+	// idle routers skip the transmit scan entirely.
+	txActive [noc.NumClasses]int
 
-	state      photonic.WLState
+	state photonic.WLState
+	// stateWL/stateWLf/stateBits cache Wavelengths() and BitsPerCycle()
+	// for the current state; the state only changes at window boundaries
+	// but these values are read every cycle.
+	stateWL    int
+	stateWLf   float64
+	stateBits  float64
 	stallUntil int64
 
 	collector     *features.Collector
@@ -72,12 +83,18 @@ type Router struct {
 	nextWindowEnd int64
 
 	alloc Allocation
+	// lastBetaCPU/lastBetaGPU memoize the occupancies Allocate last ran
+	// on; Allocate is a pure function of them (bounds and step are fixed
+	// per run), so identical betas reuse the previous allocation. -1 is
+	// unreachable, forcing the first cycle to compute.
+	lastBetaCPU float64
+	lastBetaGPU float64
 }
 
 func newRouter(id int, net *Network) *Router {
 	cfg := net.cfg
 	r := &Router{id: id, net: net}
-	name := fmt.Sprintf("r%d", id)
+	name := "r" + strconv.Itoa(id)
 	r.coreIn[noc.ClassCPU] = noc.NewBuffer(name+"-core-cpu", cfg.CPUBufferSlots, config.FlitBits)
 	r.coreIn[noc.ClassGPU] = noc.NewBuffer(name+"-core-gpu", cfg.GPUBufferSlots, config.FlitBits)
 	r.netIn[noc.ClassCPU] = noc.NewBuffer(name+"-net-cpu", cfg.CPUBufferSlots, config.FlitBits)
@@ -90,13 +107,23 @@ func newRouter(id int, net *Network) *Router {
 		r.tx[c] = make([]transmitter, channels)
 	}
 	r.collector = features.NewCollector(id == config.L3RouterID)
-	r.state = net.initialState
+	r.setState(net.initialState)
+	r.lastBetaCPU, r.lastBetaGPU = -1, -1
 	r.nextWindowEnd = int64(id*cfg.FeatureOffsetCycles + cfg.ReservationWindow)
 	return r
 }
 
 // State returns the router's current wavelength state.
 func (r *Router) State() photonic.WLState { return r.state }
+
+// setState switches the wavelength state and refreshes the cached
+// per-state values.
+func (r *Router) setState(s photonic.WLState) {
+	r.state = s
+	r.stateWL = s.Wavelengths()
+	r.stateWLf = float64(r.stateWL)
+	r.stateBits = s.BitsPerCycle()
+}
 
 // CoreOccupancy returns the Eq. 1/2 occupancy fraction for a class.
 func (r *Router) CoreOccupancy(class noc.Class) float64 {
@@ -127,25 +154,46 @@ func (r *Router) tick(cycle int64) {
 }
 
 // progressTransmissions advances every in-flight packet by its class's
-// current bandwidth share and completes those whose last bit left.
+// current bandwidth share and completes those whose last bit left. The
+// per-class rate and ring count are invariant across the serializer banks,
+// so they are computed once per cycle instead of once per transmitter.
 func (r *Router) progressTransmissions(cycle int64) {
+	if r.txActive[noc.ClassCPU]+r.txActive[noc.ClassGPU] == 0 {
+		return // idle router: nothing in flight, skip the scan
+	}
 	stalled := cycle < r.stallUntil
 	shares := r.currentShares()
+	var rates [noc.NumClasses]float64
+	var rings [noc.NumClasses]int
+	acct := r.net.acct
+	if !stalled {
+		for c := range rates {
+			rates[c] = shares[c] * r.stateBits
+		}
+		if acct != nil { // rings feed modulation accounting only
+			for c := range rings {
+				rings[c] = int(shares[c]*r.stateWLf + 0.5)
+			}
+		}
+	}
+	fcfs := r.net.cfg.Bandwidth == config.PolicyFCFS
 	for c := range r.tx {
+		// Dynamic-bandwidth mode keeps bank c strictly class-c, so an
+		// idle class skips its bank; FCFS mixes classes through bank 0
+		// and must always scan it.
+		if !fcfs && r.txActive[c] == 0 {
+			continue
+		}
 		for i := range r.tx[c] {
 			t := &r.tx[c][i]
 			if !t.busyNow() {
 				continue
 			}
-			rate := 0.0
-			if !stalled {
-				rate = shares[t.class] * r.state.BitsPerCycle()
-			}
+			rate := rates[t.class]
 			t.remaining -= rate
 			t.elapsed++
-			if acct := r.net.acct; acct != nil && rate > 0 {
-				activeRings := int(shares[t.class]*float64(r.state.Wavelengths()) + 0.5)
-				acct.AddModulation(activeRings, 1)
+			if acct != nil && rate > 0 {
+				acct.AddModulation(rings[t.class], 1)
 			}
 			if t.remaining <= 0 && t.elapsed >= photonic.FrameCycles {
 				r.finish(t, cycle)
@@ -169,14 +217,19 @@ func (r *Router) finish(t *transmitter, cycle int64) {
 	p := t.pkt
 	class := t.class
 	t.pkt = nil
+	r.txActive[class]--
 	p.DepartCycle = cycle
-	pkt := p
-	r.net.engine.Schedule(PipelineCycles, func(c int64) { r.net.arrive(pkt, class, c) })
+	// Typed payload event instead of a closure: scheduling the arrival
+	// allocates nothing (the *Packet rides in the event's any slot).
+	r.net.engine.SchedulePayload(PipelineCycles, r.net, p, int64(class))
 }
 
 // ejectArrivals drains the receive buffers toward the local cores.
 func (r *Router) ejectArrivals(cycle int64) {
 	for class := 0; class < noc.NumClasses; class++ {
+		if r.netIn[class].Len() == 0 {
+			continue // Len inlines; skip the Pop call for idle buffers
+		}
 		for i := 0; i < EjectPerClassPerCycle; i++ {
 			p := r.netIn[class].Pop()
 			if p == nil {
@@ -205,6 +258,10 @@ func (r *Router) allocateBandwidth() {
 	if betaGPU == 0 && r.txBusy(noc.ClassGPU) {
 		betaGPU = inFlight
 	}
+	if betaCPU == r.lastBetaCPU && betaGPU == r.lastBetaGPU {
+		return // same inputs, same allocation
+	}
+	r.lastBetaCPU, r.lastBetaGPU = betaCPU, betaGPU
 	r.alloc = Allocate(
 		betaCPU, betaGPU,
 		r.net.cfg.CPUUpperBound, r.net.cfg.GPUUpperBound,
@@ -212,19 +269,18 @@ func (r *Router) allocateBandwidth() {
 	)
 }
 
-// txBusy reports whether any of the class's serializers is active.
+// txBusy reports whether any serializer is carrying a packet of the
+// class.
 func (r *Router) txBusy(class noc.Class) bool {
-	for i := range r.tx[class] {
-		if r.tx[class][i].busyNow() {
-			return true
-		}
-	}
-	return false
+	return r.txActive[class] > 0
 }
 
 // startTransmissions begins serializing head packets subject to shares,
 // laser stalls and destination buffer reservations.
 func (r *Router) startTransmissions(cycle int64) {
+	if r.coreIn[noc.ClassCPU].Len()+r.coreIn[noc.ClassGPU].Len() == 0 {
+		return // nothing queued to start
+	}
 	if cycle < r.stallUntil {
 		return // laser stabilising after an up-switch
 	}
@@ -299,6 +355,7 @@ func (r *Router) startOn(t *transmitter, p *noc.Packet, class noc.Class) bool {
 	t.class = class
 	t.remaining = float64(p.SizeBits)
 	t.elapsed = 0
+	r.txActive[class]++
 	r.collector.CountSend(p)
 	if acct := r.net.acct; acct != nil {
 		acct.AddConversion(p.SizeBits)
@@ -308,14 +365,7 @@ func (r *Router) startOn(t *transmitter, p *noc.Packet, class noc.Class) bool {
 
 // linkBusy reports whether any serializer is active this cycle.
 func (r *Router) linkBusy() bool {
-	for c := range r.tx {
-		for i := range r.tx[c] {
-			if r.tx[c][i].busyNow() {
-				return true
-			}
-		}
-	}
-	return false
+	return r.txActive[noc.ClassCPU]+r.txActive[noc.ClassGPU] > 0
 }
 
 // observe updates the window accumulators, feature gauges, residency and
@@ -323,17 +373,19 @@ func (r *Router) linkBusy() bool {
 func (r *Router) observe(int64) {
 	cpuUsed := r.coreIn[noc.ClassCPU].Used()
 	gpuUsed := r.coreIn[noc.ClassGPU].Used()
-	total := r.coreIn[noc.ClassCPU].Capacity() + r.coreIn[noc.ClassGPU].Capacity()
-	r.betaSum += float64(cpuUsed+gpuUsed) / float64(total)
+	if used := cpuUsed + gpuUsed; used != 0 {
+		total := r.coreIn[noc.ClassCPU].Capacity() + r.coreIn[noc.ClassGPU].Capacity()
+		r.betaSum += float64(used) / float64(total)
+	}
 	r.betaCycles++
 
 	r.collector.ObserveCycle(
 		r.coreIn[noc.ClassCPU].Occupancy(), r.netIn[noc.ClassCPU].Occupancy(),
 		r.coreIn[noc.ClassGPU].Occupancy(), r.netIn[noc.ClassGPU].Occupancy(),
-		r.linkBusy(), r.state.Wavelengths(),
+		r.linkBusy(), r.stateWL,
 	)
 	if r.net.measuring {
-		r.net.metrics.StateResidency.Add(r.state.Wavelengths(), 1)
+		r.net.metrics.StateResidency.Add(r.stateWL, 1)
 	}
 	if r.net.acct != nil {
 		r.net.acct.AddRouterCycle(r.state)
@@ -364,14 +416,14 @@ func (r *Router) windowBoundary(cycle int64) {
 		hook(r.id, info.Features, r.collector.InjectedFlits(), beta, next)
 	}
 	if next != r.state {
-		if next.Wavelengths() > r.state.Wavelengths() {
+		if next.Wavelengths() > r.stateWL {
 			r.stallUntil = cycle + int64(r.net.turnOnCycles)
 			r.net.aux.TurnOnStalls++
 		}
 		if acct := r.net.acct; acct != nil && r.net.cfg.Power == config.PowerML {
 			acct.AddMLPrediction()
 		}
-		r.state = next
+		r.setState(next)
 	} else if acct := r.net.acct; acct != nil && r.net.cfg.Power == config.PowerML {
 		// The predictor runs every window regardless of outcome.
 		acct.AddMLPrediction()

@@ -7,12 +7,24 @@ import "fmt"
 // A multi-flit response therefore consumes several slots. Occupancy feeds
 // the dynamic bandwidth allocator (Eq. 1-3) and the power-scaling window
 // sums.
+//
+// Storage is a fixed-capacity circular queue allocated once at
+// construction: a packet occupies at least one slot, so the queue can
+// never hold more packets than the buffer has slots. Push and Pop are
+// allocation-free, unlike a re-sliced []*Packet, whose popped head keeps
+// the backing array alive and forces a fresh allocation every time append
+// outgrows it.
 type Buffer struct {
 	name     string
 	capacity int // capacity in flit slots
 	flitBits int
 	used     int // occupied flit slots
-	queue    []*Packet
+
+	// queue is the circular packet store: count packets starting at head,
+	// wrapping modulo len(queue) (== capacity).
+	queue []*Packet
+	head  int
+	count int
 
 	// drops counts packets rejected because the buffer was full.
 	drops uint64
@@ -33,7 +45,12 @@ func NewBuffer(name string, capacitySlots, flitBits int) *Buffer {
 	if flitBits <= 0 {
 		panic(fmt.Sprintf("noc: buffer %q with non-positive flit width", name))
 	}
-	return &Buffer{name: name, capacity: capacitySlots, flitBits: flitBits}
+	return &Buffer{
+		name:     name,
+		capacity: capacitySlots,
+		flitBits: flitBits,
+		queue:    make([]*Packet, capacitySlots),
+	}
 }
 
 // Name returns the buffer's diagnostic name.
@@ -49,24 +66,28 @@ func (b *Buffer) Used() int { return b.used }
 func (b *Buffer) Free() int { return b.capacity - b.used }
 
 // Len returns the number of queued packets (not slots).
-func (b *Buffer) Len() int { return len(b.queue) }
+func (b *Buffer) Len() int { return b.count }
 
 // Occupancy returns used/capacity in [0,1]; this is the β term of
-// Eq. 1-2.
+// Eq. 1-2. The zero fast path returns exactly what the division would
+// (+0.0) without paying for it; most buffers are empty most cycles.
 func (b *Buffer) Occupancy() float64 {
+	if b.used == 0 {
+		return 0
+	}
 	return float64(b.used) / float64(b.capacity)
 }
 
 // CanPush reports whether the packet's flits fit.
 func (b *Buffer) CanPush(p *Packet) bool {
-	return p.Flits(b.flitBits) <= b.Free()
+	return p.Flits(b.flitBits) <= b.Free() && b.count < len(b.queue)
 }
 
 // Push appends the packet if it fits and reports success. A rejected push
 // is counted as a drop.
 func (b *Buffer) Push(p *Packet) bool {
 	need := p.Flits(b.flitBits)
-	if need > b.Free() {
+	if need > b.Free() || b.count == len(b.queue) {
 		b.drops++
 		return false
 	}
@@ -74,26 +95,35 @@ func (b *Buffer) Push(p *Packet) bool {
 	if b.used > b.peakUsed {
 		b.peakUsed = b.used
 	}
-	b.queue = append(b.queue, p)
+	tail := b.head + b.count
+	if tail >= len(b.queue) {
+		tail -= len(b.queue)
+	}
+	b.queue[tail] = p
+	b.count++
 	return true
 }
 
 // Front returns the head packet without removing it, or nil when empty.
 func (b *Buffer) Front() *Packet {
-	if len(b.queue) == 0 {
+	if b.count == 0 {
 		return nil
 	}
-	return b.queue[0]
+	return b.queue[b.head]
 }
 
 // Pop removes and returns the head packet, or nil when empty.
 func (b *Buffer) Pop() *Packet {
-	if len(b.queue) == 0 {
+	if b.count == 0 {
 		return nil
 	}
-	p := b.queue[0]
-	b.queue[0] = nil
-	b.queue = b.queue[1:]
+	p := b.queue[b.head]
+	b.queue[b.head] = nil
+	b.head++
+	if b.head == len(b.queue) {
+		b.head = 0
+	}
+	b.count--
 	b.used -= p.Flits(b.flitBits)
 	return p
 }
@@ -128,5 +158,5 @@ func (b *Buffer) Drops() uint64 { return b.drops }
 func (b *Buffer) PeakUsed() int { return b.peakUsed }
 
 func (b *Buffer) String() string {
-	return fmt.Sprintf("buf[%s %d/%d slots, %d pkts]", b.name, b.used, b.capacity, len(b.queue))
+	return fmt.Sprintf("buf[%s %d/%d slots, %d pkts]", b.name, b.used, b.capacity, b.count)
 }

@@ -136,6 +136,12 @@ type Packet struct {
 	// releases an MSHR credit when it arrives home. Writeback data
 	// packets leave it false.
 	Reply bool
+
+	// flitsFor/flitsMemo memoize the last Flits computation. Every buffer
+	// in a run shares one flit width, so after the first Push the division
+	// never reruns on the hot path.
+	flitsFor  int
+	flitsMemo int
 }
 
 // Packet sizes on the link. A request fits one 128-bit flit; a response
@@ -167,12 +173,17 @@ func NewResponse(id uint64, src, dst int, class Class, source Source, cycle int6
 func (p *Packet) Latency() int64 { return p.ArriveCycle - p.InjectCycle }
 
 // Flits returns how many flitBits-wide flits the packet occupies
-// (ceiling).
+// (ceiling). The result is memoized per flit width; SizeBits never
+// changes after construction.
 func (p *Packet) Flits(flitBits int) int {
 	if flitBits <= 0 {
 		panic("noc: non-positive flit width")
 	}
-	return (p.SizeBits + flitBits - 1) / flitBits
+	if flitBits != p.flitsFor {
+		p.flitsFor = flitBits
+		p.flitsMemo = (p.SizeBits + flitBits - 1) / flitBits
+	}
+	return p.flitsMemo
 }
 
 func (p *Packet) String() string {

@@ -119,7 +119,10 @@ func TestDrainLosesNoCompletions(t *testing.T) {
 	s, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 4})
 
 	// A slow leader with followers (coalesced duplicates)...
-	slow := `{"workload":{"cpu":"fmm","gpu":"DCT"},"seed":99,"warmup_cycles":200,"measure_cycles":40000}`
+	// Cycles sized so the leader is still running while the duplicates
+	// below are posted, even on a fast kernel — otherwise they hit the
+	// result cache (HTTP 200) instead of coalescing (HTTP 202).
+	slow := `{"workload":{"cpu":"fmm","gpu":"DCT"},"seed":99,"warmup_cycles":200,"measure_cycles":400000}`
 	var ids []string
 	for i := 0; i < 3; i++ {
 		code, st := postJob(t, ts, slow)

@@ -1,0 +1,298 @@
+// Differential tests for the bucketed ring calendar. The Engine
+// replaced a container/heap calendar with the ring + late list + far
+// heap; these tests keep the textbook heap implementation alive as a
+// reference, drive both with identical scripts — nested scheduling from
+// firing events, delta 0 from both phases, deltas straddling the ring
+// window — and require bit-identical firing logs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+)
+
+// refEvent is one entry in the reference calendar.
+type refEvent struct {
+	cycle, seq, id int64
+}
+
+// refEventHeap is the textbook container/heap min-heap ordered by
+// (cycle, seq) — the calendar the ring replaced.
+type refEventHeap []refEvent
+
+func (h refEventHeap) Len() int { return len(h) }
+func (h refEventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refEventHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refEventHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	ev := old[n]
+	*h = old[:n]
+	return ev
+}
+
+// refCalendar executes the Engine's documented event semantics over the
+// heap: each step pops every event keyed at or before the current cycle
+// in (cycle, seq) order — the loop's re-check picks up same-cycle
+// events scheduled by a firing event, exactly as the ring slot's length
+// re-read does — then runs the component phase. An event keyed to an
+// already-passed cycle (delta 0 scheduled during a component phase)
+// fires at the top of the next step with the then-current cycle, which
+// is what the Engine's late list produces.
+type refCalendar struct {
+	h     refEventHeap
+	cycle int64
+	seq   int64
+	log   []string
+}
+
+func (r *refCalendar) schedule(delta, id int64) {
+	r.seq++
+	heap.Push(&r.h, refEvent{cycle: r.cycle + delta, seq: r.seq, id: id})
+}
+
+func (r *refCalendar) step(component func()) {
+	for len(r.h) > 0 && r.h[0].cycle <= r.cycle {
+		ev := heap.Pop(&r.h).(refEvent)
+		r.log = append(r.log, fmt.Sprintf("%d:%d", r.cycle, ev.id))
+		if d := followDelta(ev.id); d >= 0 {
+			r.schedule(d, followID(ev.id))
+		}
+	}
+	if component != nil {
+		component()
+	}
+	r.cycle++
+}
+
+// followCap bounds follow-up chains: followID grows multiplicatively,
+// so every chain crosses the cap and terminates.
+const followCap = 1 << 20
+
+// followDelta returns the delta of the follow-up event an id spawns
+// when it fires (-1 for none). The cases are chosen to hit every
+// calendar path from inside the event phase: same-cycle delta 0,
+// near-future ring slots, and spills past the window into the far heap.
+func followDelta(id int64) int64 {
+	if id >= followCap {
+		return -1
+	}
+	switch id % 5 {
+	case 0:
+		return 0
+	case 1:
+		return 1 + id%7
+	case 2:
+		return calendarWindow + id%33
+	default:
+		return -1
+	}
+}
+
+func followID(id int64) int64 { return id*7 + 3 }
+
+// engineHarness drives the real Engine and records its firing log in
+// refCalendar's format. Even ids go through Schedule (closure events),
+// odd ids through SchedulePayload (typed events), so both entry points
+// are exercised against the one reference.
+type engineHarness struct {
+	eng *Engine
+	log []string
+}
+
+func (eh *engineHarness) HandleEvent(cycle int64, _ any, arg int64) {
+	eh.fired(cycle, arg)
+}
+
+func (eh *engineHarness) schedule(delta, id int64) {
+	if id%2 == 0 {
+		eh.eng.Schedule(delta, func(cycle int64) { eh.fired(cycle, id) })
+	} else {
+		eh.eng.SchedulePayload(delta, eh, nil, id)
+	}
+}
+
+func (eh *engineHarness) fired(cycle, id int64) {
+	eh.log = append(eh.log, fmt.Sprintf("%d:%d", cycle, id))
+	if d := followDelta(id); d >= 0 {
+		eh.schedule(d, followID(id))
+	}
+}
+
+// scriptedEvent is one scheduling action replayed against both
+// calendars.
+type scriptedEvent struct{ delta, id int64 }
+
+// cycleScript is one cycle's scheduling activity: events scheduled
+// before Step (calendar idle between cycles) and events scheduled from
+// inside the component tick, after the event phase, where delta 0 must
+// defer to the next cycle.
+type cycleScript struct {
+	outside   []scriptedEvent
+	component []scriptedEvent
+}
+
+// drainCap bounds the post-script drain. The largest schedulable delta
+// is a few ring windows plus a bounded follow-up chain, far below this.
+const drainCap = 50000
+
+// runBoth replays the script against the real Engine and the heap
+// reference, steps both until their calendars drain, and returns the
+// two firing logs.
+func runBoth(tb testing.TB, script []cycleScript) (engineLog, refLog []string) {
+	tb.Helper()
+	eh := &engineHarness{eng: NewEngine()}
+	var cur *cycleScript
+	eh.eng.Register(ComponentFunc(func(int64) {
+		if cur == nil {
+			return
+		}
+		for _, ev := range cur.component {
+			eh.schedule(ev.delta, ev.id)
+		}
+	}))
+	ref := &refCalendar{}
+	for i := range script {
+		cur = &script[i]
+		for _, ev := range cur.outside {
+			eh.schedule(ev.delta, ev.id)
+		}
+		eh.eng.Step()
+
+		for _, ev := range script[i].outside {
+			ref.schedule(ev.delta, ev.id)
+		}
+		ref.step(func() {
+			for _, ev := range script[i].component {
+				ref.schedule(ev.delta, ev.id)
+			}
+		})
+	}
+	cur = nil
+	for n := 0; eh.eng.PendingEvents() > 0; n++ {
+		if n >= drainCap {
+			tb.Fatalf("engine calendar not drained after %d extra cycles (%d events pending)", drainCap, eh.eng.PendingEvents())
+		}
+		eh.eng.Step()
+	}
+	for n := 0; len(ref.h) > 0; n++ {
+		if n >= drainCap {
+			tb.Fatalf("reference calendar not drained after %d extra cycles (%d events pending)", drainCap, len(ref.h))
+		}
+		ref.step(nil)
+	}
+	return eh.log, ref.log
+}
+
+// diffLogs fails on the first divergence between the two firing logs.
+func diffLogs(tb testing.TB, engineLog, refLog []string) {
+	tb.Helper()
+	n := len(engineLog)
+	if len(refLog) < n {
+		n = len(refLog)
+	}
+	for i := 0; i < n; i++ {
+		if engineLog[i] != refLog[i] {
+			tb.Fatalf("firing %d diverges: engine fired %s, reference fired %s", i, engineLog[i], refLog[i])
+		}
+	}
+	if len(engineLog) != len(refLog) {
+		tb.Fatalf("engine fired %d events, reference fired %d (logs agree on the common prefix)", len(engineLog), len(refLog))
+	}
+}
+
+// genScript produces a deterministic randomized script: a few outside
+// and component scheduling actions per cycle with deltas drawn from
+// every calendar regime.
+func genScript(seed uint64, cycles int) []cycleScript {
+	rng := NewRNG(seed)
+	id := int64(0)
+	next := func() int64 { id++; return id }
+	delta := func() int64 {
+		switch rng.Intn(4) {
+		case 0:
+			return int64(rng.Intn(2)) // same cycle or next
+		case 1:
+			return int64(rng.Intn(300)) // spans the ring window boundary
+		case 2:
+			return int64(calendarWindow + rng.Intn(64)) // just past the window
+		default:
+			return int64(4*calendarWindow + rng.Intn(500)) // deep in the far heap
+		}
+	}
+	script := make([]cycleScript, cycles)
+	for c := range script {
+		for n := rng.Intn(4); n > 0; n-- {
+			script[c].outside = append(script[c].outside, scriptedEvent{delta(), next()})
+		}
+		for n := rng.Intn(3); n > 0; n-- {
+			script[c].component = append(script[c].component, scriptedEvent{delta(), next()})
+		}
+	}
+	return script
+}
+
+// TestCalendarMatchesHeapReference runs many randomized scripts through
+// both calendars and requires identical firing order everywhere.
+func TestCalendarMatchesHeapReference(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		engineLog, refLog := runBoth(t, genScript(seed, 600))
+		if len(engineLog) == 0 {
+			t.Fatalf("seed %d: script fired no events; the test is vacuous", seed)
+		}
+		diffLogs(t, engineLog, refLog)
+	}
+}
+
+// scriptFromBytes decodes a fuzz input into a script: each byte is one
+// scheduling action — bit 0 places it (outside vs component phase),
+// bits 1-2 pick the delta regime, the high bits its magnitude — and
+// every four actions start a new cycle.
+func scriptFromBytes(data []byte) []cycleScript {
+	script := make([]cycleScript, len(data)/4+1)
+	id := int64(0)
+	for i, b := range data {
+		id++
+		var d int64
+		switch (b >> 1) & 3 {
+		case 0:
+			d = int64(b >> 3) // 0..31: inside the ring
+		case 1:
+			d = int64(b>>3) * 10 // 0..310: spans the window boundary
+		case 2:
+			d = calendarWindow - 2 + int64(b>>3) // straddles the boundary
+		default:
+			d = calendarWindow * (1 + int64(b>>3)) // far heap, up to 32 windows out
+		}
+		ev := scriptedEvent{delta: d, id: id}
+		c := &script[i/4]
+		if b&1 == 0 {
+			c.outside = append(c.outside, ev)
+		} else {
+			c.component = append(c.component, ev)
+		}
+	}
+	return script
+}
+
+// FuzzCalendar fuzzes the script space: any (delta, placement) sequence
+// must produce identical firing order on both calendars.
+func FuzzCalendar(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0x00, 0xff, 0x80, 0x7f, 0x01, 0xfe})
+	f.Add(make([]byte, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		engineLog, refLog := runBoth(t, scriptFromBytes(data))
+		diffLogs(t, engineLog, refLog)
+	})
+}

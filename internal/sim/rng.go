@@ -16,7 +16,11 @@ import "math"
 // each component that needs randomness should own its own stream (see
 // Fork).
 type RNG struct {
-	s [4]uint64
+	// The four xoshiro256** state words are named fields rather than an
+	// array: field accesses cost less in the compiler's inlining model,
+	// and keeping Uint64 inlinable matters — it is the innermost call of
+	// every random draw in the simulator.
+	s0, s1, s2, s3 uint64
 }
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
@@ -34,29 +38,33 @@ func splitMix64(state *uint64) uint64 {
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
-	for i := range r.s {
-		r.s[i] = splitMix64(&sm)
-	}
+	r.s0 = splitMix64(&sm)
+	r.s1 = splitMix64(&sm)
+	r.s2 = splitMix64(&sm)
+	r.s3 = splitMix64(&sm)
 	// xoshiro must not start from the all-zero state.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
 	}
 	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint64 returns the next 64 uniformly distributed bits. The state runs
+// through locals and the rotates are written out with constant shifts so
+// the whole function stays within the compiler's inlining budget — this
+// is the innermost call of every random draw in the simulator.
 func (r *RNG) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
-	return result
+	s1 := r.s1
+	x := s1 * 5
+	s2 := r.s2 ^ r.s0
+	s3 := r.s3 ^ s1
+	r.s1 = s1 ^ s2
+	r.s0 ^= s3
+	r.s2 = s2 ^ s1<<17
+	r.s3 = s3<<45 | s3>>19
+	return (x<<7 | x>>57) * 9
 }
 
 // Fork derives an independent child stream from this generator. Forked
@@ -123,6 +131,14 @@ func (r *RNG) Geometric(p float64) int {
 // method for small means and a normal approximation for large ones. Means
 // in this codebase are per-cycle injection counts, i.e. well under 10.
 func (r *RNG) Poisson(mean float64) int {
+	return r.PoissonExp(mean, math.Exp(-mean))
+}
+
+// PoissonExp is Poisson with exp(-mean) supplied by the caller, for hot
+// paths that sample the same mean every cycle and can hoist the
+// exponential. It consumes exactly the same random draws as Poisson, so
+// swapping between the two never perturbs the stream.
+func (r *RNG) PoissonExp(mean, expNegMean float64) int {
 	if mean <= 0 {
 		return 0
 	}
@@ -134,7 +150,7 @@ func (r *RNG) Poisson(mean float64) int {
 		}
 		return n
 	}
-	l := math.Exp(-mean)
+	l := expNegMean
 	k := 0
 	p := 1.0
 	for {

@@ -2,6 +2,8 @@ package traffic
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"repro/internal/config"
 	"repro/internal/noc"
@@ -40,7 +42,37 @@ type generator struct {
 	pending     int     // demands waiting for an MSHR slot
 	outstanding int     // requests in flight awaiting responses
 	shed        uint64
+
+	// expFor/expNegRate cache exp(-rate) for the Poisson sampler. The rate
+	// only changes while a burst ramps, so in steady state the exponential
+	// (one of the costliest calls in the cycle loop) is computed once, not
+	// every cycle. expFor starts as NaN so the first cycle always fills
+	// the cache.
+	expFor     float64
+	expNegRate float64
+	// expTab is a direct-mapped cache of exp(-rate) behind the
+	// single-entry cache above: a ramping burst walks the same ladder of
+	// float rate values on every burst (each value recurs dozens of times
+	// per million cycles), so most rate changes hit the table instead of
+	// math.Exp.
+	expTab []expEntry
+	// rampStep and rateSpan precompute 1/RampCycles and
+	// BurstRate-BaseRate; both are bit-identical to computing them inline
+	// every cycle, just cheaper.
+	rampStep float64
+	rateSpan float64
 }
+
+// expEntry is one slot of the direct-mapped exp(-rate) cache. The zero
+// value is safe: a stored rate of 0 can never be read back wrongly because
+// PoissonExp returns before consuming exp(-mean) when mean <= 0.
+type expEntry struct {
+	rate float64
+	exp  float64
+}
+
+// expTabBits sizes the per-generator exp cache (2^11 = 2048 slots, 32 KiB).
+const expTabBits = 11
 
 // tickDemand advances the burst chain and returns this cycle's new
 // demands. Bursts ramp to full intensity over RampCycles (kernels
@@ -60,22 +92,28 @@ func (g *generator) tickDemand() int {
 		} else {
 			g.level = 0
 		}
-	} else {
-		step := 1 / float64(g.profile.RampCycles)
-		if g.bursting {
-			g.level += step
-			if g.level > 1 {
-				g.level = 1
-			}
-		} else {
-			g.level -= 2 * step
-			if g.level < 0 {
-				g.level = 0
-			}
+	} else if g.bursting {
+		g.level += g.rampStep
+		if g.level > 1 {
+			g.level = 1
+		}
+	} else if g.level > 0 {
+		g.level -= 2 * g.rampStep
+		if g.level < 0 {
+			g.level = 0
 		}
 	}
-	rate := g.profile.BaseRate + g.level*(g.profile.BurstRate-g.profile.BaseRate)
-	return g.rng.Poisson(rate)
+	rate := g.profile.BaseRate + g.level*g.rateSpan
+	if rate != g.expFor {
+		g.expFor = rate
+		e := &g.expTab[(math.Float64bits(rate)*0x9E3779B97F4A7C15)>>(64-expTabBits)]
+		if e.rate != rate {
+			e.rate = rate
+			e.exp = math.Exp(-rate)
+		}
+		g.expNegRate = e.exp
+	}
+	return g.rng.PoissonExp(rate, g.expNegRate)
 }
 
 // Workload wires a benchmark pair onto a network target: it owns the 32
@@ -91,10 +129,20 @@ type Workload struct {
 	rng    *sim.RNG
 	nextID uint64
 
+	// pool recycles packet storage: every workload packet terminates in
+	// OnDeliver (requests after their response is scheduled, replies after
+	// retiring, writebacks immediately), so steady-state traffic allocates
+	// no packets at all.
+	pool noc.Pool
+
 	// respQ holds service-complete responses waiting for buffer space at
 	// their source router, drained FIFO each cycle. Index is the
 	// response's source router (clusters and L3).
 	respQ [config.NumRouters][noc.NumClasses][]*noc.Packet
+	// respMask has bit r*2+class set when respQ[r][class] is non-empty,
+	// so the drain pass touches only occupied queues instead of scanning
+	// all 34 (NumRouters x NumClasses fits a uint64).
+	respMask uint64
 
 	measuring bool
 	// Injected counts packets accepted by the network during
@@ -122,10 +170,22 @@ func NewWorkload(engine *sim.Engine, target Target, pair Pair, seed uint64) (*Wo
 	}
 	w := &Workload{engine: engine, target: target, pair: pair, rng: sim.NewRNG(seed)}
 	for r := 0; r < config.NumClusterRouters; r++ {
-		w.gens[r][noc.ClassCPU] = &generator{router: r, profile: pair.CPU, rng: w.rng.Fork()}
-		w.gens[r][noc.ClassGPU] = &generator{router: r, profile: pair.GPU, rng: w.rng.Fork()}
+		w.gens[r][noc.ClassCPU] = newGenerator(r, pair.CPU, w.rng.Fork())
+		w.gens[r][noc.ClassGPU] = newGenerator(r, pair.GPU, w.rng.Fork())
 	}
 	return w, nil
+}
+
+func newGenerator(router int, profile Profile, rng *sim.RNG) *generator {
+	g := &generator{
+		router: router, profile: profile, rng: rng,
+		expFor: math.NaN(), expTab: make([]expEntry, 1<<expTabBits),
+	}
+	if profile.RampCycles != 0 {
+		g.rampStep = 1 / float64(profile.RampCycles)
+	}
+	g.rateSpan = profile.BurstRate - profile.BaseRate
+	return g
 }
 
 // StartMeasurement begins counting injections (end of warmup).
@@ -164,7 +224,8 @@ func (w *Workload) drain(g *generator, cycle int64) {
 		}
 		p := w.buildPacket(g, isWriteback, cycle)
 		if !w.target.Inject(p) {
-			return // input buffer full; retry next cycle
+			w.pool.Put(p) // buffer full; rebuild (fresh draws) next cycle
+			return
 		}
 		g.pending--
 		if !isWriteback {
@@ -189,11 +250,9 @@ func (w *Workload) buildPacket(g *generator, writeback bool, cycle int64) *noc.P
 	}
 	class := g.profile.Class
 	if writeback {
-		p := noc.NewResponse(w.nextID, g.router, dst, class, writebackSource(class), cycle)
-		return p
+		return w.pool.GetResponse(w.nextID, g.router, dst, class, writebackSource(class), cycle)
 	}
-	p := noc.NewRequest(w.nextID, g.router, dst, class, w.requestSource(g), cycle)
-	return p
+	return w.pool.GetRequest(w.nextID, g.router, dst, class, w.requestSource(g), cycle)
 }
 
 // requestSource picks the cache level labelling a request, matching the
@@ -226,7 +285,9 @@ func writebackSource(class noc.Class) noc.Source {
 
 // OnDeliver must be called by the network when a packet reaches its
 // destination router. It schedules the memory-side response for requests
-// and releases the MSHR credit when a response returns home.
+// and releases the MSHR credit when a response returns home. Every
+// delivered packet terminates here, so its storage is recycled into the
+// pool — nothing may retain a delivered packet past this call.
 func (w *Workload) OnDeliver(p *noc.Packet, cycle int64) {
 	switch {
 	case p.Kind == noc.KindRequest && p.WantsResponse:
@@ -242,6 +303,7 @@ func (w *Workload) OnDeliver(p *noc.Packet, cycle int64) {
 			w.Retired++
 		}
 	}
+	w.pool.Put(p)
 }
 
 // originGenerator maps a returning response to the generator that issued
@@ -276,36 +338,50 @@ func (w *Workload) scheduleResponse(req *noc.Packet, cycle int64) {
 		src = noc.SrcL3
 	}
 	w.nextID++
-	resp := noc.NewResponse(w.nextID, req.Dst, req.Src, req.Class, src, cycle+latency)
+	resp := w.pool.GetResponse(w.nextID, req.Dst, req.Src, req.Class, src, cycle+latency)
 	resp.Reply = true
-	w.engine.Schedule(latency, func(c int64) {
-		resp.InjectCycle = c
-		w.respQ[resp.Src][resp.Class] = append(w.respQ[resp.Src][resp.Class], resp)
-	})
+	// Typed payload event instead of a closure: the response pointer rides
+	// in the event itself, so scheduling the service completion allocates
+	// nothing.
+	w.engine.SchedulePayload(latency, w, resp, 0)
+}
+
+// HandleEvent implements sim.Handler for service-completion events: ptr is
+// the finished response, released into its source router's pending queue.
+func (w *Workload) HandleEvent(cycle int64, ptr any, _ int64) {
+	resp := ptr.(*noc.Packet)
+	resp.InjectCycle = cycle
+	w.respQ[resp.Src][resp.Class] = append(w.respQ[resp.Src][resp.Class], resp)
+	w.respMask |= 1 << (uint(resp.Src)*noc.NumClasses + uint(resp.Class))
 }
 
 // drainResponses injects queued responses FIFO, stopping per queue at the
-// first buffer-full rejection.
+// first buffer-full rejection. Ascending bit order visits (router, class)
+// pairs exactly as the full nested scan would.
 func (w *Workload) drainResponses(int64) {
-	for r := 0; r < config.NumRouters; r++ {
-		for class := 0; class < noc.NumClasses; class++ {
-			q := w.respQ[r][class]
-			n := 0
-			for _, p := range q {
-				if !w.target.Inject(p) {
-					break
-				}
-				n++
-				if w.measuring {
-					w.Injected.Add(int(p.Class), p.SizeBits)
-				}
+	for mask := w.respMask; mask != 0; {
+		b := uint(bits.TrailingZeros64(mask))
+		mask &^= 1 << b
+		r, class := b/noc.NumClasses, b%noc.NumClasses
+		q := w.respQ[r][class]
+		n := 0
+		for _, p := range q {
+			if !w.target.Inject(p) {
+				break
 			}
-			if n > 0 {
-				remaining := copy(q, q[n:])
-				for i := remaining; i < len(q); i++ {
-					q[i] = nil
-				}
-				w.respQ[r][class] = q[:remaining]
+			n++
+			if w.measuring {
+				w.Injected.Add(int(p.Class), p.SizeBits)
+			}
+		}
+		if n > 0 {
+			remaining := copy(q, q[n:])
+			for i := remaining; i < len(q); i++ {
+				q[i] = nil
+			}
+			w.respQ[r][class] = q[:remaining]
+			if remaining == 0 {
+				w.respMask &^= 1 << b
 			}
 		}
 	}
