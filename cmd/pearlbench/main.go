@@ -32,7 +32,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/models"
 	"repro/internal/server"
 )
 
@@ -54,6 +56,7 @@ func realMain() int {
 		seed       = flag.Uint64("seed", 2018, "experiment seed")
 		sweep      = flag.String("sweep", "", "evaluate a named figure sweep ("+strings.Join(experiments.SweepNames(), ", ")+")")
 		cacheOut   = flag.String("cache-out", "", "with -sweep: write results as a pearld cache-warming artifact (JSON)")
+		modelList  = flag.String("model", "", "comma-separated trained model artifact files (pearltrain -out); serves ML points instead of training in-process")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
@@ -109,20 +112,25 @@ func realMain() int {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	arts, err := loadModelArtifacts(*modelList)
+	if err != nil {
+		return fail(err)
+	}
+
 	if *sweep != "" {
-		if err := runSweep(w, opts, *sweep, *cacheOut); err != nil {
+		if err := runSweep(w, opts, *sweep, *cacheOut, arts); err != nil {
 			return fail(err)
 		}
 		return 0
 	}
 	if *md {
-		if err := experiments.NewSuite(opts).WriteMarkdownReport(w); err != nil {
+		if err := newSuite(opts, arts).WriteMarkdownReport(w); err != nil {
 			return fail(err)
 		}
 		return 0
 	}
 	if *check {
-		report, err := experiments.NewSuite(opts).RunShapeChecks()
+		report, err := newSuite(opts, arts).RunShapeChecks()
 		if err != nil {
 			return fail(err)
 		}
@@ -132,25 +140,67 @@ func realMain() int {
 		}
 		return 0
 	}
-	if err := run(w, opts, *figure, *jsonOut); err != nil {
+	if err := run(w, opts, *figure, *jsonOut, arts); err != nil {
 		return fail(err)
 	}
 	return 0
+}
+
+// loadModelArtifacts reads the -model flag's comma-separated artifact
+// files into a by-window map. Two artifacts for the same window is an
+// error — which one serves RW-matched points would be load-order luck.
+func loadModelArtifacts(list string) (map[int]*models.Artifact, error) {
+	if list == "" {
+		return nil, nil
+	}
+	arts := make(map[int]*models.Artifact)
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		art, err := models.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := arts[art.Window]; ok && prev.Hash != art.Hash {
+			return nil, fmt.Errorf("-model: two different artifacts for RW%d (%s vs %s)", art.Window, prev.Hash[:12], art.Hash[:12])
+		}
+		arts[art.Window] = art
+	}
+	return arts, nil
 }
 
 // runSweep evaluates a named figure sweep and optionally exports the
 // results as a cache-warming artifact. Each point's config carries the
 // run lengths before keying, matching the invariant pearld's job
 // resolution enforces — that is what makes the exported keys collide
-// with the server's.
-func runSweep(w io.Writer, opts experiments.Options, name, cacheOut string) error {
-	points, err := experiments.FigureSweep(name, opts.Pairs)
+// with the server's. ML points are served by -model artifacts: the
+// artifact's content hash is pinned into the point's ModelRef before
+// keying (mirroring pearld's resolution), so exported cache entries
+// match the server's keys for the same model version. ML points with
+// no matching-window artifact are skipped with a note, like a pearld
+// sweep over a registry that cannot serve them.
+func runSweep(w io.Writer, opts experiments.Options, name, cacheOut string, arts map[int]*models.Artifact) error {
+	all, err := experiments.FigureSweep(name, opts.Pairs)
 	if err != nil {
 		return err
 	}
-	for i := range points {
-		points[i].Config.WarmupCycles = int(opts.WarmupCycles)
-		points[i].Config.MeasureCycles = int(opts.MeasureCycles)
+	points := all[:0]
+	for _, p := range all {
+		p.Config.WarmupCycles = int(opts.WarmupCycles)
+		p.Config.MeasureCycles = int(opts.MeasureCycles)
+		if p.Backend == "pearl" && p.Config.Power == config.PowerML {
+			art, ok := arts[p.Config.ReservationWindow]
+			if !ok {
+				fmt.Fprintf(w, "%-28s %-12s skipped: no -model artifact for RW%d\n",
+					p.Label, p.Pair.Name(), p.Config.ReservationWindow)
+				continue
+			}
+			p.Predictor = art
+			p.Config.ModelRef = art.Hash
+		}
+		points = append(points, p)
 	}
 	start := time.Now()
 	results, err := experiments.RunSweep(context.Background(), points, opts)
@@ -214,8 +264,19 @@ func writeBenchJSON(path string, records []benchRecord) error {
 	return f.Close()
 }
 
-func run(w io.Writer, opts experiments.Options, figure, jsonOut string) error {
+// newSuite builds the figure suite, seeding it with any -model
+// artifacts so ML figures serve from them instead of training
+// in-process.
+func newSuite(opts experiments.Options, arts map[int]*models.Artifact) *experiments.Suite {
 	suite := experiments.NewSuite(opts)
+	for _, art := range arts {
+		suite.SetModel(art)
+	}
+	return suite
+}
+
+func run(w io.Writer, opts experiments.Options, figure, jsonOut string, arts map[int]*models.Artifact) error {
+	suite := newSuite(opts, arts)
 	artifacts := []struct {
 		key string
 		fn  func() (experiments.Table, error)

@@ -9,6 +9,7 @@
 //	pearld -addr :9000 -workers 8 -queue 256 -cache 4096 -timeout 2m
 //	pearld -cache-dir /var/cache/pearld            # results survive restarts
 //	pearld -cache-dir d -warm-cache results/       # preload from artifacts
+//	pearld -model-dir models/                      # host trained ML models
 //
 // SIGINT/SIGTERM starts a graceful drain: intake stops (503), queued
 // jobs are cancelled, in-flight simulations finish (bounded by
@@ -40,6 +41,7 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "directory for the disk-persistent result cache (empty = memory only)")
 		cacheDirMax = flag.Int64("cache-dir-max", 0, "disk cache size cap in bytes (0 = 256 MiB default)")
 		warmCache   = flag.String("warm-cache", "", "JSON artifact file or directory to preload the cache from")
+		modelDir    = flag.String("model-dir", "", "directory of trained model artifacts to host (rw500.json serves ref \"rw500\"); uploads via POST /v1/models persist here")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
 		drainGrace  = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
 		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); kept off the API listener so profiling is never exposed with it")
@@ -56,6 +58,7 @@ func main() {
 		CacheCapacity:    *cacheCap,
 		CacheDir:         *cacheDir,
 		CacheDirMaxBytes: *cacheDirMax,
+		ModelDir:         *modelDir,
 		DefaultTimeout:   *timeout,
 	}
 	if err := run(*addr, opts, *warmCache, *drainGrace); err != nil {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/models"
 	"repro/internal/photonic"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -79,17 +80,12 @@ func run(configName, cpuBench, gpuBench string, cycles, warmup int64, seed uint6
 	}
 	cfg.LaserTurnOnNs = turnOn
 
-	var model *experiments.TrainedModel
+	var model *models.Artifact
 	if cfg.Power == config.PowerML {
 		if modelPath == "" {
 			return fmt.Errorf("configuration %s needs -model (train one with pearltrain)", cfg.Name())
 		}
-		f, err := os.Open(modelPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		model, err = experiments.LoadModel(f)
+		model, err = models.LoadFile(modelPath)
 		if err != nil {
 			return err
 		}
@@ -113,7 +109,7 @@ func run(configName, cpuBench, gpuBench string, cycles, warmup int64, seed uint6
 // runTimeline wires the network manually so per-window signals can be
 // captured: mean wavelength state across routers and delivered bits per
 // window, rendered as sparklines.
-func runTimeline(cfg config.Config, pair traffic.Pair, opts experiments.Options, model *experiments.TrainedModel) error {
+func runTimeline(cfg config.Config, pair traffic.Pair, opts experiments.Options, model *models.Artifact) error {
 	engine := sim.NewEngine()
 	net, err := core.New(engine, cfg)
 	if err != nil {

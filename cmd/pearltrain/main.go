@@ -3,9 +3,14 @@
 // model-driven states), λ tuning on the validation pairs, final fit, and
 // evaluation on the test pairs (the §IV.C NRMSE numbers).
 //
+// The trained model is written as a versioned, content-hashed artifact
+// (internal/models) that pearld can serve from its -model-dir or via
+// POST /v1/models. Name the file rw<window>.json and pearld resolves
+// it as the default model for that reservation window.
+//
 // Usage:
 //
-//	pearltrain -window 500 -out model-rw500.json
+//	pearltrain -window 500 -out rw500.json
 //	pearltrain -window 2000 -quick
 package main
 
@@ -21,7 +26,7 @@ import (
 func main() {
 	var (
 		window = flag.Int("window", 500, "reservation window in cycles")
-		out    = flag.String("out", "", "write the trained model JSON here")
+		out    = flag.String("out", "", "write the trained model artifact here (e.g. rw500.json)")
 		quick  = flag.Bool("quick", false, "reduced data collection for smoke runs")
 		seed   = flag.Uint64("seed", 2018, "experiment seed")
 	)
@@ -47,8 +52,8 @@ func run(window int, out string, quick bool, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained in %v: lambda=%g validation NRMSE score=%.3f\n",
-		time.Since(start), model.Lambda, model.ValScore)
+	fmt.Printf("trained in %v: lambda=%g validation NRMSE score=%.3f hash=%s\n",
+		time.Since(start), model.Lambda, model.ValScore, model.Hash[:12])
 
 	ev, err := experiments.Evaluate(model, opts)
 	if err != nil {
@@ -60,15 +65,12 @@ func run(window int, out string, quick bool, seed uint64) error {
 	fmt.Printf("  exact-state agree:  %.1f%%\n", 100*ev.StateAccuracy)
 
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+		// Provenance only — the content hash deliberately excludes it.
+		model.Meta.TrainedAt = time.Now().UTC().Format(time.RFC3339)
+		if err := model.SaveFile(out); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := model.Save(f); err != nil {
-			return err
-		}
-		fmt.Printf("model written to %s\n", out)
+		fmt.Printf("model artifact written to %s (hash %s)\n", out, model.Hash)
 	}
 	return nil
 }

@@ -72,10 +72,51 @@ type timedFlit struct {
 	readyAt int64
 }
 
+// flitRing is a fixed-capacity circular flit FIFO. Capacity is set once
+// at construction to the VC's flow-control bound (credits for neighbor
+// VCs, the class buffer size for injection queues), so steady-state
+// enqueue/dequeue reuses the backing array and never allocates. Pushing
+// past capacity is a flow-control bug and panics rather than growing.
+type flitRing struct {
+	buf  []timedFlit
+	head int
+	n    int
+}
+
+func newFlitRing(capacity int) flitRing {
+	return flitRing{buf: make([]timedFlit, capacity)}
+}
+
+func (q *flitRing) len() int { return q.n }
+
+func (q *flitRing) push(tf timedFlit) {
+	if q.n == len(q.buf) {
+		panic("cmesh: VC buffer overflow (flow control violated)")
+	}
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = tf
+	q.n++
+}
+
+// front returns the head flit; callers must check len first.
+func (q *flitRing) front() timedFlit { return q.buf[q.head] }
+
+func (q *flitRing) pop() {
+	q.buf[q.head] = timedFlit{} // release the packet pointer
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+}
+
 // inVC is one input virtual channel: a bounded flit FIFO plus wormhole
 // routing state for the packet currently occupying it.
 type inVC struct {
-	q []timedFlit
+	q flitRing
 
 	// routed reports whether the head packet has passed route compute.
 	routed  bool
@@ -138,9 +179,11 @@ type Network struct {
 	// the 64-wavelength photonic bisection, 2 halves it, 4 quarters it.
 	linkCyclesPerFlit int64
 
-	// ejected accumulates per-packet flit arrival counts at the local
-	// port so a packet delivers once its tail ejects.
-	ejected map[*noc.Packet]int
+	// partialEjected counts packets whose head has reached the local
+	// port but whose tail has not, for drain checks. The per-packet
+	// flit count itself rides on Packet.EjectedFlits, so ejection does
+	// no map work.
+	partialEjected int
 }
 
 // New builds the mesh. Only the buffer-size fields of the configuration
@@ -154,7 +197,6 @@ func New(engine *sim.Engine, cfg config.Config) (*Network, error) {
 		engine:            engine,
 		cfg:               cfg,
 		metrics:           stats.NewNetwork(),
-		ejected:           make(map[*noc.Packet]int),
 		linkCyclesPerFlit: 1,
 	}
 	for i := range n.routers {
@@ -162,7 +204,15 @@ func New(engine *sim.Engine, cfg config.Config) (*Network, error) {
 		for p := 0; p < numNeighborPorts; p++ {
 			for v := 0; v < VCsPerPort; v++ {
 				r.out[p][v].credits = SlotsPerVC
+				r.in[p][v].q = newFlitRing(SlotsPerVC)
 			}
+		}
+		for c := 0; c < noc.NumClasses; c++ {
+			slots := cfg.CPUBufferSlots
+			if noc.Class(c) == noc.ClassGPU {
+				slots = cfg.GPUBufferSlots
+			}
+			r.local[c].q = newFlitRing(slots)
 		}
 		r.inputs = buildInputs(r)
 		n.routers[i] = r
@@ -267,7 +317,7 @@ func (n *Network) Inject(p *noc.Packet) bool {
 	p.EnqueueCycle = now
 	vc := &r.local[p.Class]
 	for i := 0; i < flits; i++ {
-		vc.q = append(vc.q, timedFlit{
+		vc.q.push(timedFlit{
 			f:       flit{pkt: p, isHead: i == 0, isTail: i == flits-1},
 			readyAt: now,
 		})
@@ -309,10 +359,14 @@ func (n *Network) tickRouter(r *router, cycle int64) {
 
 // headReady returns the head flit if it has crossed the link.
 func headReady(vc *inVC, cycle int64) (flit, bool) {
-	if len(vc.q) == 0 || vc.q[0].readyAt > cycle {
+	if vc.q.len() == 0 {
 		return flit{}, false
 	}
-	return vc.q[0].f, true
+	head := vc.q.front()
+	if head.readyAt > cycle {
+		return flit{}, false
+	}
+	return head.f, true
 }
 
 // routeAndAllocate performs RC on new heads and VA for neighbor-bound
@@ -392,7 +446,7 @@ func (n *Network) arbitrate(r *router, out int, inputs []inputRef, cycle int64) 
 // forward moves the head flit of the input VC through the crossbar.
 func (n *Network) forward(r *router, ref inputRef, f flit, cycle int64) {
 	vc := ref.vc
-	vc.q = vc.q[1:]
+	vc.q.pop()
 	if ref.local {
 		r.localSlotsUsed[ref.class]--
 	}
@@ -407,7 +461,7 @@ func (n *Network) forward(r *router, ref inputRef, f flit, cycle int64) {
 		st.credits--
 		nb := n.neighbor(r, vc.outPort)
 		dvc := &nb.in[oppositePort(vc.outPort)][vc.outVC]
-		dvc.q = append(dvc.q, timedFlit{f: f, readyAt: cycle + n.linkCyclesPerFlit + RouterPipelineCycles})
+		dvc.q.push(timedFlit{f: f, readyAt: cycle + n.linkCyclesPerFlit + RouterPipelineCycles})
 		if f.isHead {
 			f.pkt.Hops++
 		}
@@ -480,17 +534,24 @@ func oppositePort(port int) int {
 }
 
 // eject accumulates flits at the local port and delivers the packet when
-// its tail arrives.
+// its tail arrives. The reassembly counter lives on the packet itself
+// (zeroed by the pool), so this path is allocation- and map-free.
 func (n *Network) eject(f flit, cycle int64) {
 	p := f.pkt
-	n.ejected[p]++
+	p.EjectedFlits++
 	if !f.isTail {
+		if p.EjectedFlits == 1 {
+			n.partialEjected++
+		}
 		return
 	}
-	if n.ejected[p] != p.Flits(FlitBits) {
-		panic(fmt.Sprintf("cmesh: packet %d ejected %d of %d flits", p.ID, n.ejected[p], p.Flits(FlitBits)))
+	if p.EjectedFlits != p.Flits(FlitBits) {
+		panic(fmt.Sprintf("cmesh: packet %d ejected %d of %d flits", p.ID, p.EjectedFlits, p.Flits(FlitBits)))
 	}
-	delete(n.ejected, p)
+	if p.EjectedFlits > 1 {
+		n.partialEjected--
+	}
+	p.EjectedFlits = 0
 	p.ArriveCycle = cycle
 	if n.measuring {
 		n.metrics.Delivered.Add(int(p.Class), p.SizeBits)
@@ -517,12 +578,12 @@ func (n *Network) InFlight() int {
 	for _, r := range n.routers {
 		for p := 0; p < numNeighborPorts; p++ {
 			for v := 0; v < VCsPerPort; v++ {
-				total += len(r.in[p][v].q)
+				total += r.in[p][v].q.len()
 			}
 		}
 		for c := 0; c < noc.NumClasses; c++ {
-			total += len(r.local[c].q)
+			total += r.local[c].q.len()
 		}
 	}
-	return total + len(n.ejected)
+	return total + n.partialEjected
 }

@@ -212,6 +212,14 @@ type Config struct {
 	WarmupCycles int
 	// MeasureCycles is the measured portion of the run.
 	MeasureCycles int
+
+	// ModelRef names the hosted trained model serving a PowerML run:
+	// a registry name (e.g. "rw500") or an artifact content hash. It
+	// participates in CanonicalString/Hash, so cached ML results are
+	// keyed by the exact model version. Empty lets the serving layer
+	// pick its default ("rw<window>"); meaningless unless Power is
+	// PowerML.
+	ModelRef string
 }
 
 // PowerThresholds holds the four reactive-scaling cut points. A window's
@@ -339,6 +347,9 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupCycles < 0 {
 		return errors.New("config: warmup cycles must be non-negative")
+	}
+	if c.ModelRef != "" && c.Power != PowerML {
+		return fmt.Errorf("config: model ref %q set but power policy is %s, not ML", c.ModelRef, c.Power)
 	}
 	return nil
 }

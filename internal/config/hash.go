@@ -31,6 +31,7 @@ func (c Config) CanonicalString() string {
 	fmt.Fprintf(&b, "feature_offset_cycles=%d\n", c.FeatureOffsetCycles)
 	fmt.Fprintf(&b, "warmup_cycles=%d\n", c.WarmupCycles)
 	fmt.Fprintf(&b, "measure_cycles=%d\n", c.MeasureCycles)
+	fmt.Fprintf(&b, "model_ref=%q\n", c.ModelRef)
 	return b.String()
 }
 

@@ -57,7 +57,7 @@ func TestCanonicalStringCoversEveryField(t *testing.T) {
 	base := Default()
 	baseStr := base.CanonicalString()
 	rt := reflect.TypeOf(base)
-	if got, want := rt.NumField(), 15; got != want {
+	if got, want := rt.NumField(), 16; got != want {
 		t.Fatalf("Config has %d fields, canonical encoding written for %d — update CanonicalString and this test", got, want)
 	}
 	for i := 0; i < rt.NumField(); i++ {
@@ -72,6 +72,8 @@ func TestCanonicalStringCoversEveryField(t *testing.T) {
 			rv.SetFloat(rv.Float() + 0.125)
 		case reflect.Struct: // Thresholds
 			rv.Field(0).SetFloat(rv.Field(0).Float() + 0.125)
+		case reflect.String: // ModelRef
+			rv.SetString(rv.String() + "x")
 		default:
 			t.Fatalf("unhandled field kind %v for %s", rv.Kind(), rt.Field(i).Name)
 		}

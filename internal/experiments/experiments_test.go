@@ -131,8 +131,11 @@ func TestTrainAndEvaluate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if model.Window != 500 || model.Ridge == nil {
+	if model.Window != 500 || model.Ridge() == nil {
 		t.Fatalf("model %+v", model)
+	}
+	if model.Hash == "" || model.FeatureCount != core.FeatureCount {
+		t.Fatalf("artifact identity incomplete: hash=%q features=%d", model.Hash, model.FeatureCount)
 	}
 	if model.ValScore < 0.2 {
 		t.Fatalf("validation score %v too weak; the burst process is learnable", model.ValScore)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/models"
 	"repro/internal/photonic"
 	"repro/internal/traffic"
 )
@@ -69,11 +70,14 @@ func (t Table) Value(rowLabel, column string) (float64, bool) {
 	return 0, false
 }
 
-// Suite caches trained ML models and shares Options across the figure
-// drivers so one invocation reproduces the whole evaluation coherently.
+// Suite caches trained ML model artifacts and shares Options across
+// the figure drivers so one invocation reproduces the whole evaluation
+// coherently. Pre-trained artifacts (from pearltrain files or a pearld
+// registry) can be injected with SetModel; windows without one are
+// trained on demand.
 type Suite struct {
 	Opts   Options
-	models map[int]*TrainedModel
+	models map[int]*models.Artifact
 
 	// scalingThr/scalingPow cache the Figure 6/7 sweep, which both
 	// figures share.
@@ -82,11 +86,18 @@ type Suite struct {
 
 // NewSuite returns a suite with the given options.
 func NewSuite(opts Options) *Suite {
-	return &Suite{Opts: opts, models: make(map[int]*TrainedModel)}
+	return &Suite{Opts: opts, models: make(map[int]*models.Artifact)}
 }
 
-// Model trains (once) and returns the ridge model for a window size.
-func (s *Suite) Model(window int) (*TrainedModel, error) {
+// SetModel registers a pre-trained artifact for its window, so the
+// ML figures serve it instead of training inline.
+func (s *Suite) SetModel(a *models.Artifact) {
+	s.models[a.Window] = a
+}
+
+// Model returns the artifact for a window size, training one (once)
+// when none was injected.
+func (s *Suite) Model(window int) (*models.Artifact, error) {
 	if m, ok := s.models[window]; ok {
 		return m, nil
 	}

@@ -3,8 +3,9 @@ package experiments
 import (
 	"bytes"
 	"math"
-	"strings"
 	"testing"
+
+	"repro/internal/models"
 )
 
 func TestFigure6And7(t *testing.T) {
@@ -245,6 +246,10 @@ func TestAblationLabelChoice(t *testing.T) {
 	}
 }
 
+// TestModelSaveLoad exercises the full train -> artifact -> load path:
+// a trained model survives serialisation with its provenance, content
+// hash and predictions intact. (The parser's error paths and bit-exact
+// round-trip property live in internal/models' own tests.)
 func TestModelSaveLoad(t *testing.T) {
 	opts := tiny()
 	model, err := Train(500, opts)
@@ -255,28 +260,16 @@ func TestModelSaveLoad(t *testing.T) {
 	if err := model.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	clone, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	clone, err := models.Load(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if clone.Window != model.Window || clone.Lambda != model.Lambda {
+	if clone.Window != model.Window || clone.Lambda != model.Lambda || clone.Hash != model.Hash {
 		t.Fatal("provenance lost")
 	}
 	probe := make([]float64, 30)
 	probe[8] = 50
 	if math.Abs(clone.PredictPackets(probe)-model.PredictPackets(probe)) > 1e-9 {
 		t.Fatal("loaded model predicts differently")
-	}
-}
-
-func TestLoadModelErrors(t *testing.T) {
-	if _, err := LoadModel(strings.NewReader("{")); err == nil {
-		t.Fatal("bad JSON accepted")
-	}
-	if _, err := LoadModel(strings.NewReader(`{"window":0}`)); err == nil {
-		t.Fatal("zero window accepted")
-	}
-	if _, err := LoadModel(strings.NewReader(`{"window":500,"params":{}}`)); err == nil {
-		t.Fatal("empty params accepted")
 	}
 }

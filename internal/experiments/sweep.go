@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/traffic"
 )
 
@@ -25,6 +26,10 @@ type Point struct {
 	LinkScale int
 	// Pair is the CPU+GPU benchmark pair driving the run.
 	Pair traffic.Pair
+	// Predictor serves PowerML points. Callers fill it from a model
+	// artifact (pearld resolves its registry; pearlbench loads -model
+	// files); a PowerML point with a nil predictor fails at run time.
+	Predictor core.PacketPredictor
 }
 
 // sweepConfig is one configuration of a named sweep before pairs are
@@ -49,10 +54,10 @@ func cmeshPoint(scale int) sweepConfig {
 }
 
 // sweepConfigs maps a sweep name to the configurations the paper's
-// figure compares. ML-power configurations are deliberately absent:
-// they need a hosted trained model, which pearld rejects at submit
-// (see ROADMAP) — the affected figures keep their reactive and static
-// points.
+// figure compares, ML-power points included (the paper's headline
+// comparison). An ML point needs a trained model at run time: pearld
+// resolves its model registry and skips unsatisfiable points with a
+// per-point status; pearlbench loads artifacts via -model.
 func sweepConfigs(name string) ([]sweepConfig, error) {
 	switch strings.ToLower(name) {
 	case "fig4":
@@ -72,6 +77,14 @@ func sweepConfigs(name string) ([]sweepConfig, error) {
 			pearlPoint(config.PEARLDyn()),
 			pearlPoint(config.DynRW(500)),
 			pearlPoint(config.DynRW(2000)),
+			pearlPoint(config.MLRW(500, true)),
+			pearlPoint(config.MLRW(500, false)),
+			pearlPoint(config.MLRW(2000, true)),
+		}, nil
+	case "fig8":
+		return []sweepConfig{
+			pearlPoint(config.MLRW(500, true)),
+			pearlPoint(config.MLRW(2000, true)),
 		}, nil
 	case "fig9":
 		noLow := config.DynRW(500)
@@ -80,7 +93,15 @@ func sweepConfigs(name string) ([]sweepConfig, error) {
 			pearlPoint(config.PEARLDyn()),
 			pearlPoint(config.PEARLFCFS()),
 			pearlPoint(noLow),
+			pearlPoint(config.MLRW(500, false)),
 			cmeshPoint(1),
+		}, nil
+	case "fig10":
+		return []sweepConfig{
+			pearlPoint(config.PEARLDyn()),
+			pearlPoint(config.MLRW(500, true)),
+			pearlPoint(config.MLRW(1000, true)),
+			pearlPoint(config.MLRW(2000, true)),
 		}, nil
 	case "fig11":
 		var out []sweepConfig
@@ -102,7 +123,7 @@ func sweepConfigs(name string) ([]sweepConfig, error) {
 
 // SweepNames lists the named figure sweeps in sorted order.
 func SweepNames() []string {
-	names := []string{"fig4", "fig5", "fig6", "fig7", "fig9", "fig11"}
+	names := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	sort.Strings(names)
 	return names
 }
@@ -148,6 +169,6 @@ func RunSweep(ctx context.Context, points []Point, opts Options) ([]Result, erro
 			}
 			return RunCMESHCtx(ctx, p.Config, p.Pair, opts, scale)
 		}
-		return RunPEARLCtx(ctx, p.Config, p.Pair, opts, nil)
+		return RunPEARLCtx(ctx, p.Config, p.Pair, opts, p.Predictor)
 	})
 }

@@ -14,13 +14,16 @@ func TestFigureSweepExpansion(t *testing.T) {
 		name       string
 		configs    int
 		cmeshCount int
+		mlCount    int
 	}{
-		{"fig4", 1, 0},
-		{"fig5", 9, 3},
-		{"fig6", 3, 0},
-		{"fig7", 3, 0},
-		{"fig9", 4, 1},
-		{"fig11", 8, 0},
+		{"fig4", 1, 0, 0},
+		{"fig5", 9, 3, 0},
+		{"fig6", 6, 0, 3},
+		{"fig7", 6, 0, 3},
+		{"fig8", 2, 0, 2},
+		{"fig9", 5, 1, 1},
+		{"fig10", 4, 0, 3},
+		{"fig11", 8, 0, 0},
 	}
 	pairs := traffic.TestPairs()
 	for _, tc := range cases {
@@ -33,7 +36,7 @@ func TestFigureSweepExpansion(t *testing.T) {
 				t.Fatalf("%s expanded to %d points, want %d (%d configs x %d pairs)",
 					tc.name, len(points), want, tc.configs, len(pairs))
 			}
-			cmesh := 0
+			cmesh, ml := 0, 0
 			for i, p := range points {
 				if p.Backend == "cmesh" {
 					cmesh++
@@ -46,12 +49,21 @@ func TestFigureSweepExpansion(t *testing.T) {
 				if p.Label == "" || p.Pair.CPU.Name == "" {
 					t.Fatalf("point %d underspecified: %+v", i, p)
 				}
+				// ML points expand with a nil Predictor; the caller
+				// (pearld's registry, pearlbench -model) fills it in
+				// or skips the point.
 				if p.Config.Power == config.PowerML {
-					t.Fatalf("point %d is an ML configuration; sweeps must exclude them", i)
+					ml++
+					if p.Predictor != nil {
+						t.Fatalf("point %d: expansion pre-bound a predictor", i)
+					}
 				}
 			}
 			if cmesh != tc.cmeshCount*len(pairs) {
 				t.Fatalf("%s has %d cmesh points, want %d", tc.name, cmesh, tc.cmeshCount*len(pairs))
+			}
+			if ml != tc.mlCount*len(pairs) {
+				t.Fatalf("%s has %d ML points, want %d", tc.name, ml, tc.mlCount*len(pairs))
 			}
 			// Configuration-major ordering: the first len(pairs) points
 			// share a label and walk the pair list in order.
@@ -73,8 +85,8 @@ func TestFigureSweepRestrictedPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 4*2 {
-		t.Fatalf("restricted fig9 expanded to %d points, want 8", len(points))
+	if len(points) != 5*2 {
+		t.Fatalf("restricted fig9 expanded to %d points, want 10", len(points))
 	}
 }
 

@@ -6,29 +6,11 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/mlkit"
+	"repro/internal/models"
 	"repro/internal/photonic"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
-
-// TrainedModel is the deployable ridge predictor for one reservation
-// window size, with its tuning provenance.
-type TrainedModel struct {
-	// Window is the reservation window the model was trained for.
-	Window int
-	// Lambda is the regularisation coefficient picked on validation.
-	Lambda float64
-	// ValScore is the NRMSE-style score on the validation set (§IV.C
-	// reports 0.79).
-	ValScore float64
-	// Ridge is the fitted regression.
-	Ridge *mlkit.Ridge
-}
-
-// PredictPackets implements core.PacketPredictor.
-func (m *TrainedModel) PredictPackets(features []float64) float64 {
-	return m.Ridge.Predict(features)
-}
 
 // CollectDataset runs every pair under the given wavelength-state policy
 // and harvests (window-k features, window-k+1 injected packets) examples
@@ -90,7 +72,10 @@ func collectOne(ds *mlkit.Dataset, pair traffic.Pair, window int, opts Options, 
 //  3. Re-collect with the wavelength states chosen by the initial model
 //     ("designed to best mimic the testing environment").
 //  4. Fit and tune the final model on the second-pass data.
-func Train(window int, opts Options) (*TrainedModel, error) {
+//
+// The result is a deployable model artifact (content-hashed, schema-
+// versioned) ready for pearld's model registry or a local file.
+func Train(window int, opts Options) (*models.Artifact, error) {
 	if len(opts.TrainPairs) == 0 || len(opts.ValPairs) == 0 {
 		return nil, fmt.Errorf("experiments: training needs train and validation pairs")
 	}
@@ -124,7 +109,11 @@ func Train(window int, opts Options) (*TrainedModel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: pass-2 fit: %w", err)
 	}
-	return &TrainedModel{Window: window, Lambda: lambda, ValScore: score, Ridge: final}, nil
+	return models.New(window, lambda, score, final.Params(), models.Meta{
+		Seed:       opts.Seed,
+		TrainPairs: len(opts.TrainPairs),
+		ValPairs:   len(opts.ValPairs),
+	})
 }
 
 // Evaluation holds the §IV.C prediction-quality numbers for one window.
@@ -146,7 +135,7 @@ type Evaluation struct {
 // Evaluate runs the trained model over test-pair data collected in its
 // own deployment conditions and scores predictions against the true
 // next-window injections.
-func Evaluate(model *TrainedModel, opts Options) (Evaluation, error) {
+func Evaluate(model *models.Artifact, opts Options) (Evaluation, error) {
 	policy := core.MLPolicy{Model: model, Allow8WL: false}
 	testDS, err := CollectDataset(opts.Pairs, model.Window, opts, policy)
 	if err != nil {
@@ -156,7 +145,7 @@ func Evaluate(model *TrainedModel, opts Options) (Evaluation, error) {
 		return Evaluation{}, fmt.Errorf("experiments: empty test dataset")
 	}
 	x, y := testDS.Design()
-	pred := model.Ridge.PredictAll(x)
+	pred := model.Ridge().PredictAll(x)
 	score := mlkit.Score(pred, y)
 
 	meanBits := float64(config.FlitBits)

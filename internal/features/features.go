@@ -38,6 +38,13 @@ const (
 	Count = FeatWavelengths + 1
 )
 
+// SchemaVersion identifies the feature-vector layout. A trained model
+// artifact records the version it was fitted against, and the serving
+// side refuses to load artifacts from a different one — weights are
+// meaningless over a reordered or resized vector. Bump this whenever
+// the indices above (or Count) change.
+const SchemaVersion = 1
+
 // Names returns human-readable labels for reports, index-aligned with the
 // vector.
 func Names() []string {

@@ -1,0 +1,300 @@
+package models
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/mlkit"
+)
+
+// testParams builds a full-width parameter set whose values exercise
+// float rendering (negatives, fractions, exact powers of two).
+func testParams(bias float64) mlkit.RidgeParams {
+	p := mlkit.RidgeParams{
+		Lambda:  0.5,
+		Mean:    make([]float64, features.Count),
+		Std:     make([]float64, features.Count),
+		Weights: make([]float64, features.Count),
+		Bias:    bias,
+	}
+	for i := range p.Weights {
+		p.Mean[i] = float64(i) * 0.25
+		p.Std[i] = 1 + float64(i%5)*0.125
+		p.Weights[i] = (float64(i) - 14.5) * 0.03125
+	}
+	return p
+}
+
+func testArtifact(t *testing.T, bias float64) *Artifact {
+	t.Helper()
+	a, err := New(500, 0.5, 0.42, testParams(bias), Meta{Seed: 2018, TrainPairs: 8, ValPairs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestContentHashCoversIdentityNotMeta(t *testing.T) {
+	a := testArtifact(t, 2)
+	b := testArtifact(t, 2)
+	if a.Hash != b.Hash {
+		t.Fatalf("identical params hashed differently: %s vs %s", a.Hash, b.Hash)
+	}
+	// Provenance must not move the hash: same weights = same model.
+	c, err := New(500, 0.5, 0.42, testParams(2), Meta{Seed: 999, TrainedAt: "2026-08-06T00:00:00Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash != a.Hash {
+		t.Fatal("Meta changed the content hash")
+	}
+	// Any weight change must move it (the retrain -> cache-miss chain
+	// hangs off this).
+	d := testArtifact(t, 3)
+	if d.Hash == a.Hash {
+		t.Fatal("different weights produced the same content hash")
+	}
+	e, err := New(2000, 0.5, 0.42, testParams(2), Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Hash == a.Hash {
+		t.Fatal("different window produced the same content hash")
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(0, 1, 0, testParams(0), Meta{}); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	short := testParams(0)
+	short.Weights = short.Weights[:10]
+	short.Mean = short.Mean[:10]
+	short.Std = short.Std[:10]
+	if _, err := New(500, 1, 0, short, Meta{}); err == nil {
+		t.Fatal("10-feature weight vector accepted against a 30-feature schema")
+	}
+	zeroStd := testParams(0)
+	zeroStd.Std[3] = 0
+	if _, err := New(500, 1, 0, zeroStd, Meta{}); err == nil {
+		t.Fatal("zero std accepted")
+	}
+}
+
+// TestSaveLoadBitIdentical is the round-trip property: every float in
+// the artifact survives JSON serialisation bit-for-bit, the hash
+// re-verifies, and predictions are exactly reproducible.
+func TestSaveLoadBitIdentical(t *testing.T) {
+	for _, bias := range []float64{0, 2, -1.75, 1e-12, 12345.678} {
+		a := testArtifact(t, bias)
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("bias %v: %v", bias, err)
+		}
+		if b.Hash != a.Hash || b.SchemaVersion != a.SchemaVersion || b.Window != a.Window {
+			t.Fatalf("bias %v: identity changed across round trip", bias)
+		}
+		bits := func(v float64) uint64 { return math.Float64bits(v) }
+		if bits(b.Lambda) != bits(a.Lambda) || bits(b.ValScore) != bits(a.ValScore) ||
+			bits(b.Params.Bias) != bits(a.Params.Bias) || bits(b.Params.Lambda) != bits(a.Params.Lambda) {
+			t.Fatalf("bias %v: scalar floats not bit-identical", bias)
+		}
+		for i := range a.Params.Weights {
+			if bits(b.Params.Weights[i]) != bits(a.Params.Weights[i]) ||
+				bits(b.Params.Mean[i]) != bits(a.Params.Mean[i]) ||
+				bits(b.Params.Std[i]) != bits(a.Params.Std[i]) {
+				t.Fatalf("bias %v: params[%d] not bit-identical", bias, i)
+			}
+		}
+		probe := make([]float64, features.Count)
+		probe[7] = 42.5
+		if a.PredictPackets(probe) != b.PredictPackets(probe) {
+			t.Fatalf("bias %v: predictions differ after round trip", bias)
+		}
+		// A second save must be byte-identical: serialisation is stable.
+		var buf2 bytes.Buffer
+		if err := b.Save(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("bias %v: serialisation not stable", bias)
+		}
+	}
+}
+
+func TestLoadMigratesLegacyModel(t *testing.T) {
+	legacy, err := json.Marshal(legacyModel{Window: 500, Lambda: 0.5, ValScore: 0.42, Params: testParams(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Load(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy model rejected: %v", err)
+	}
+	if a.SchemaVersion != SchemaVersion || a.Hash == "" {
+		t.Fatalf("migration incomplete: version %d hash %q", a.SchemaVersion, a.Hash)
+	}
+	// The migrated artifact is the same model as a natively built one.
+	want := testArtifact(t, 2)
+	if a.Hash != want.Hash {
+		t.Fatalf("migrated hash %s != native %s", a.Hash, want.Hash)
+	}
+	probe := make([]float64, features.Count)
+	probe[3] = 17
+	if a.PredictPackets(probe) != want.PredictPackets(probe) {
+		t.Fatal("migrated model predicts differently")
+	}
+}
+
+func TestLoadErrorPaths(t *testing.T) {
+	a := testArtifact(t, 2)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	tamper := func(mutate func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{"empty", nil, "decoding"},
+		{"truncated", valid[:len(valid)/2], "decoding"},
+		{"not json", []byte("window=500"), "decoding"},
+		{"unknown field", tamper(func(m map[string]any) { m["surprise"] = 1 }), "decoding"},
+		{"schema skew", tamper(func(m map[string]any) { m["schema_version"] = SchemaVersion + 1 }), "schema"},
+		{"feature schema skew", tamper(func(m map[string]any) { m["feature_schema"] = 99 }), "feature schema"},
+		{"feature count mismatch", tamper(func(m map[string]any) { m["feature_count"] = 12 }), "features"},
+		{"hash mismatch", tamper(func(m map[string]any) {
+			m["val_score"] = 0.99 // content changed, hash not recomputed
+		}), "hash mismatch"},
+		{"corrupted hash", tamper(func(m map[string]any) { m["hash"] = strings.Repeat("ab", 32) }), "hash mismatch"},
+		{"bad window", tamper(func(m map[string]any) {
+			m["window"] = -5
+			delete(m, "hash")
+			m["schema_version"] = SchemaVersion // not legacy: version set
+		}), "window"},
+	}
+	for _, tc := range cases {
+		_, err := Load(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+
+	if _, err := Load(bytes.NewReader(bytes.Repeat([]byte("x"), maxArtifactBytes+10))); err == nil ||
+		!strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized artifact: %v", err)
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rw500.json")
+	a := testArtifact(t, 2)
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// The atomic write leaves no temp droppings.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "rw500.json" {
+		t.Fatalf("directory contents %v", entries)
+	}
+	b, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Hash != a.Hash {
+		t.Fatal("file round trip changed the hash")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+// FuzzLoadModel hammers the load path: arbitrary bytes must produce an
+// error or a fully usable artifact — never a panic, and never an
+// artifact whose hash does not verify or whose predictor is missing.
+func FuzzLoadModel(f *testing.F) {
+	valid := func(bias float64) []byte {
+		p := testParams(bias)
+		a, err := New(500, 0.5, 0.42, p, Meta{Seed: 2018})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	v := valid(2)
+	f.Add(v)
+	f.Add(valid(-3.5))
+	f.Add(v[:len(v)/3])                                                                      // truncation
+	f.Add(bytes.Replace(v, []byte(`"hash": "`), []byte(`"hash": "00`), 1))                   // hash corruption
+	f.Add(bytes.Replace(v, []byte(`"schema_version": 1`), []byte(`"schema_version": 7`), 1)) // schema skew
+	f.Add(bytes.Replace(v, []byte(`"feature_schema": 1`), []byte(`"feature_schema": 0`), 1)) // feature skew
+	if legacy, err := json.Marshal(legacyModel{Window: 2000, Lambda: 1, ValScore: 0.3, Params: testParams(1)}); err == nil {
+		f.Add(legacy)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"window":0}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful load is a full contract: predictor ready, hash
+		// self-consistent, round trip stable.
+		probe := make([]float64, a.FeatureCount)
+		_ = a.PredictPackets(probe)
+		if got := a.contentHash(); got != a.Hash {
+			t.Fatalf("loaded artifact hash %s does not verify (%s)", a.Hash, got)
+		}
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			t.Fatalf("re-saving loaded artifact: %v", err)
+		}
+		b, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reloading saved artifact: %v", err)
+		}
+		if b.Hash != a.Hash {
+			t.Fatalf("round trip moved hash %s -> %s", a.Hash, b.Hash)
+		}
+	})
+}

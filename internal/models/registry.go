@@ -1,0 +1,171 @@
+package models
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a concurrency-safe name -> artifact table, optionally
+// backed by a directory of artifact files. It is pearld's hosted-model
+// store: loaded from -model-dir at boot, hot-addable via the upload
+// endpoint, resolved per job by name or content hash.
+type Registry struct {
+	dir string
+
+	mu     sync.RWMutex
+	byName map[string]*Artifact
+	byHash map[string]*Artifact
+}
+
+// OpenRegistry builds a registry. With a non-empty dir every *.json
+// file in it is loaded as an artifact (the filename minus .json is the
+// model name) and later Adds persist there; a corrupt artifact fails
+// the open, so a daemon never boots with a silently missing model.
+// An empty dir makes a memory-only registry.
+func OpenRegistry(dir string) (*Registry, error) {
+	r := &Registry{
+		dir:    dir,
+		byName: make(map[string]*Artifact),
+		byHash: make(map[string]*Artifact),
+	}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("models: opening registry: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("models: opening registry: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".json")
+		if err := ValidateName(name); err != nil {
+			return nil, fmt.Errorf("models: registry file %s: %w", e.Name(), err)
+		}
+		a, err := LoadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("models: registry: %w", err)
+		}
+		r.byName[name] = a
+		r.byHash[a.Hash] = a
+	}
+	return r, nil
+}
+
+// ValidateName bounds model names to a filesystem- and URL-safe
+// alphabet, so a name can double as the registry filename.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("model name must not be empty")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("model name longer than 128 characters")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("model name %q contains %q (allowed: letters, digits, '-', '_', '.')", name, c)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("model name %q is reserved", name)
+	}
+	return nil
+}
+
+// Add registers (or replaces) an artifact under name, persisting it
+// when the registry is dir-backed. Re-adding a name with different
+// content is the retrain flow: subsequent resolves see the new hash.
+func (r *Registry) Add(name string, a *Artifact) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	if a == nil || a.ridge == nil {
+		return fmt.Errorf("models: Add needs an artifact from New or Load")
+	}
+	if r.dir != "" {
+		if err := a.SaveFile(filepath.Join(r.dir, name+".json")); err != nil {
+			return fmt.Errorf("models: persisting %s: %w", name, err)
+		}
+	}
+	r.mu.Lock()
+	if old, ok := r.byName[name]; ok && old.Hash != a.Hash {
+		// Drop the replaced version's hash entry unless another name
+		// still serves the same content.
+		stillServed := false
+		for n, other := range r.byName {
+			if n != name && other.Hash == old.Hash {
+				stillServed = true
+				break
+			}
+		}
+		if !stillServed {
+			delete(r.byHash, old.Hash)
+		}
+	}
+	r.byName[name] = a
+	r.byHash[a.Hash] = a
+	r.mu.Unlock()
+	return nil
+}
+
+// Resolve looks a reference up as a name first, then as a content
+// hash, so clients may pin either the mutable name or the exact
+// version.
+func (r *Registry) Resolve(ref string) (*Artifact, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if a, ok := r.byName[ref]; ok {
+		return a, true
+	}
+	a, ok := r.byHash[ref]
+	return a, ok
+}
+
+// Len reports how many named models the registry holds.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}
+
+// Entry is one listing row of the registry.
+type Entry struct {
+	Name          string  `json:"name"`
+	Hash          string  `json:"hash"`
+	Window        int     `json:"window"`
+	Lambda        float64 `json:"lambda"`
+	ValScore      float64 `json:"val_score"`
+	FeatureCount  int     `json:"feature_count"`
+	FeatureSchema int     `json:"feature_schema"`
+}
+
+// List snapshots the registry sorted by name.
+func (r *Registry) List() []Entry {
+	r.mu.RLock()
+	out := make([]Entry, 0, len(r.byName))
+	for name, a := range r.byName {
+		out = append(out, Entry{
+			Name:          name,
+			Hash:          a.Hash,
+			Window:        a.Window,
+			Lambda:        a.Lambda,
+			ValScore:      a.ValScore,
+			FeatureCount:  a.FeatureCount,
+			FeatureSchema: a.FeatureSchema,
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,151 @@
+package models
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateName(t *testing.T) {
+	for _, good := range []string{"rw500", "rw500-v2", "A.b_c-9", strings.Repeat("x", 128)} {
+		if err := ValidateName(good); err != nil {
+			t.Errorf("%q rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", "a\\b", "a b", "ünïcode", strings.Repeat("x", 129)} {
+		if err := ValidateName(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestMemoryRegistryAddResolve(t *testing.T) {
+	r, err := OpenRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("fresh registry holds %d models", r.Len())
+	}
+	a := testArtifact(t, 2)
+	if err := r.Add("rw500", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("bad name!", a); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if err := r.Add("nil", nil); err == nil {
+		t.Fatal("nil artifact accepted")
+	}
+	if err := r.Add("zero", &Artifact{}); err == nil {
+		t.Fatal("zero artifact (no ridge) accepted")
+	}
+
+	byName, ok := r.Resolve("rw500")
+	byHash, ok2 := r.Resolve(a.Hash)
+	if !ok || !ok2 || byName != a || byHash != a {
+		t.Fatal("name/hash resolution broken")
+	}
+	if _, ok := r.Resolve("rw2000"); ok {
+		t.Fatal("unknown ref resolved")
+	}
+}
+
+func TestRegistryReplaceEvictsOldHash(t *testing.T) {
+	r, err := OpenRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := testArtifact(t, 2), testArtifact(t, 3)
+	if err := r.Add("rw500", v1); err != nil {
+		t.Fatal(err)
+	}
+	// Alias the same content under a second name, then replace the
+	// first: the hash stays resolvable through the alias.
+	if err := r.Add("alias", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("rw500", v2); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Resolve(v1.Hash); !ok || got != v1 {
+		t.Fatal("aliased content lost its hash entry")
+	}
+	// Replace the alias too: now nothing serves v1 and its hash must
+	// stop resolving (no zombie versions).
+	if err := r.Add("alias", v2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Resolve(v1.Hash); ok {
+		t.Fatal("fully replaced version still resolvable by hash")
+	}
+	if got, ok := r.Resolve(v2.Hash); !ok || got != v2 {
+		t.Fatal("current version not resolvable by hash")
+	}
+}
+
+func TestDirBackedRegistryPersistsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testArtifact(t, 2)
+	if err := r.Add("rw500", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rw500.json")); err != nil {
+		t.Fatalf("artifact not persisted: %v", err)
+	}
+
+	r2, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r2.Resolve("rw500")
+	if !ok || got.Hash != a.Hash {
+		t.Fatal("reloaded registry lost the model")
+	}
+	list := r2.List()
+	if len(list) != 1 || list[0].Name != "rw500" || list[0].Window != 500 {
+		t.Fatalf("listing %+v", list)
+	}
+}
+
+func TestOpenRegistryRejectsCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "rw500.json"), []byte(`{"window":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRegistry(dir); err == nil {
+		t.Fatal("corrupt artifact did not fail the open")
+	}
+	// Non-JSON files and subdirectories are ignored, bad names are not.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "README.txt"), []byte("notes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir2, "archive"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := OpenRegistry(dir2); err != nil || r.Len() != 0 {
+		t.Fatalf("benign clutter rejected: %v (len %d)", err, r.Len())
+	}
+}
+
+func TestRegistryListSorted(t *testing.T) {
+	r, err := OpenRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := r.Add(name, testArtifact(t, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := r.List()
+	if len(list) != 3 || list[0].Name != "alpha" || list[1].Name != "mid" || list[2].Name != "zeta" {
+		t.Fatalf("listing order %+v", list)
+	}
+}

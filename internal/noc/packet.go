@@ -129,6 +129,11 @@ type Packet struct {
 	// Hops counts router traversals (1 for the single-hop photonic
 	// crossbar; up to 6 in the 4x4 CMESH).
 	Hops int
+	// EjectedFlits is destination-side reassembly scratch: how many of
+	// this packet's flits have ejected at the destination router (CMESH
+	// wormhole eject path). The network resets it on delivery and the
+	// pool zeroes it on reuse.
+	EjectedFlits int
 	// WantsResponse marks requests that should trigger a response packet
 	// from the destination after service.
 	WantsResponse bool

@@ -31,7 +31,9 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/models"
 	"repro/internal/traffic"
 )
 
@@ -74,6 +76,11 @@ type JobRequest struct {
 	// LinkScale narrows CMESH links (bandwidth-matched baselines);
 	// ignored for the pearl backend.
 	LinkScale int `json:"link_scale,omitempty"`
+	// Model references the hosted trained model serving a PowerML
+	// configuration: a registry name or an artifact content hash.
+	// Empty defaults to "rw<reservation window>". Shorthand for
+	// Config["ModelRef"].
+	Model string `json:"model,omitempty"`
 	// TimeoutMS bounds the job's wall-clock runtime; 0 uses the server
 	// default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -90,6 +97,10 @@ type jobSpec struct {
 	measure   int64
 	linkScale int
 	timeout   time.Duration
+	// predictor is the resolved model artifact serving a PowerML pearl
+	// spec. It is derived state, not identity: cfg.ModelRef carries the
+	// artifact's content hash, which the cache key covers.
+	predictor core.PacketPredictor
 }
 
 // options bounds for externally supplied run lengths.
@@ -99,8 +110,9 @@ const (
 )
 
 // resolve validates the request and fills defaults, returning the
-// executable spec or a client-facing error.
-func (r JobRequest) resolve(defaultTimeout time.Duration) (jobSpec, error) {
+// executable spec or a client-facing error. PowerML specs are resolved
+// against the model registry.
+func (r JobRequest) resolve(defaultTimeout time.Duration, reg *models.Registry) (jobSpec, error) {
 	spec := jobSpec{backend: r.Backend, linkScale: r.LinkScale, seed: r.Seed}
 
 	cfg := config.Default()
@@ -121,6 +133,9 @@ func (r JobRequest) resolve(defaultTimeout time.Duration) (jobSpec, error) {
 	if r.MeasureCycles > 0 {
 		cfg.MeasureCycles = int(r.MeasureCycles)
 	}
+	if r.Model != "" {
+		cfg.ModelRef = r.Model
+	}
 	spec.cfg = cfg
 
 	if r.Workload.CPU == "" || r.Workload.GPU == "" {
@@ -139,14 +154,42 @@ func (r JobRequest) resolve(defaultTimeout time.Duration) (jobSpec, error) {
 	if r.TimeoutMS > 0 {
 		spec.timeout = time.Duration(r.TimeoutMS) * time.Millisecond
 	}
-	return spec.finalize(defaultTimeout)
+	return spec.finalize(defaultTimeout, reg)
+}
+
+// resolveModel finds the hosted artifact serving a PowerML
+// configuration: cfg.ModelRef (name or content hash), defaulting to
+// "rw<window>" — the name pearltrain's conventional output files and
+// the upload walkthrough use.
+func resolveModel(cfg config.Config, reg *models.Registry) (*models.Artifact, error) {
+	ref := cfg.ModelRef
+	if ref == "" {
+		ref = fmt.Sprintf("rw%d", cfg.ReservationWindow)
+	}
+	var art *models.Artifact
+	ok := false
+	if reg != nil {
+		art, ok = reg.Resolve(ref)
+	}
+	if !ok {
+		return nil, fmt.Errorf("no hosted model %q for %s: train one (pearltrain -window %d -out %s.json), then upload it with POST /v1/models?name=%s or start pearld with -model-dir",
+			ref, cfg.Name(), cfg.ReservationWindow, ref, ref)
+	}
+	if art.Window != cfg.ReservationWindow {
+		return nil, fmt.Errorf("model %q was trained for RW%d but configuration %s uses RW%d",
+			ref, art.Window, cfg.Name(), cfg.ReservationWindow)
+	}
+	return art, nil
 }
 
 // finalize validates an assembled spec (from a job request or a batch
 // sweep point) against the server's policy and fills the derived and
 // defaulted fields. It is the single gate every executable spec passes
-// through.
-func (s jobSpec) finalize(defaultTimeout time.Duration) (jobSpec, error) {
+// through. PowerML pearl specs resolve their model here: the artifact
+// becomes the spec's predictor and its content hash is pinned into
+// cfg.ModelRef, so the cache key tracks the exact model version (and a
+// name ref and its hash ref share one cache entry).
+func (s jobSpec) finalize(defaultTimeout time.Duration, reg *models.Registry) (jobSpec, error) {
 	switch s.backend {
 	case "":
 		s.backend = BackendPEARL
@@ -164,7 +207,12 @@ func (s jobSpec) finalize(defaultTimeout time.Duration) (jobSpec, error) {
 		return jobSpec{}, fmt.Errorf("warmup cycles %d above server limit %d", s.cfg.WarmupCycles, maxWarmupCycles)
 	}
 	if s.backend == BackendPEARL && s.cfg.Power == config.PowerML {
-		return jobSpec{}, fmt.Errorf("power policy ML needs a hosted model; pearld does not serve ML configurations yet (train offline with pearltrain)")
+		art, err := resolveModel(s.cfg, reg)
+		if err != nil {
+			return jobSpec{}, err
+		}
+		s.cfg.ModelRef = art.Hash
+		s.predictor = art
 	}
 	s.warmup = int64(s.cfg.WarmupCycles)
 	s.measure = int64(s.cfg.MeasureCycles)
@@ -209,6 +257,19 @@ func (s jobSpec) cacheKey() string {
 	fmt.Fprintf(h, "seed=%d\nwarmup=%d\nmeasure=%d\nlink_scale=%d\n",
 		s.seed, s.warmup, s.measure, s.linkScale)
 	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// label is the figure-style row label for the spec: the paper's
+// configuration name for photonic points, CMESH (with its bandwidth
+// scale) for electrical ones — matching experiments.Point labels.
+func (s jobSpec) label() string {
+	if s.backend == BackendCMESH {
+		if s.linkScale > 1 {
+			return fmt.Sprintf("CMESH(1/%d bw)", s.linkScale)
+		}
+		return "CMESH"
+	}
+	return s.cfg.Name()
 }
 
 // options converts the spec to an experiments option set.
@@ -272,11 +333,14 @@ func newJobResult(res experiments.Result) *JobResult {
 
 // JobStatus is the poll payload for a job in any state.
 type JobStatus struct {
-	ID       string `json:"id"`
-	State    string `json:"state"`
-	Backend  string `json:"backend"`
-	Config   string `json:"config"`
-	Pair     string `json:"pair"`
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Backend string `json:"backend"`
+	Config  string `json:"config"`
+	Pair    string `json:"pair"`
+	// Model is the content hash of the artifact serving a PowerML job
+	// (the resolved, pinned version — not the name the request used).
+	Model    string `json:"model,omitempty"`
 	CacheKey string `json:"cache_key"`
 	Cached   bool   `json:"cached"`
 	// Coalesced marks a job that attached to identical in-flight work

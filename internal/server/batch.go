@@ -8,7 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/models"
 	"repro/internal/traffic"
 )
 
@@ -35,9 +37,15 @@ type BatchRequest struct {
 	MeasureCycles int64          `json:"measure_cycles,omitempty"`
 	LinkScale     int            `json:"link_scale,omitempty"`
 	TimeoutMS     int64          `json:"timeout_ms,omitempty"`
+	// Model references the hosted model serving PowerML points (name or
+	// content hash), with JobRequest.Model semantics. Ignored for
+	// sweeps, whose ML points span several windows and resolve their
+	// per-window default names against the registry.
+	Model string `json:"model,omitempty"`
 	// Sweep names a figure sweep ("fig5", "fig9", ...). Mutually
 	// exclusive with Backend/Preset/Config/LinkScale, which the sweep
-	// determines per point.
+	// determines per point. ML points the registry cannot serve are
+	// skipped with a per-point reason, not a batch failure.
 	Sweep string `json:"sweep,omitempty"`
 	// Workloads lists the benchmark pairs. Required without a sweep;
 	// with one, it restricts the sweep to these pairs.
@@ -47,14 +55,24 @@ type BatchRequest struct {
 	CancelOnError bool `json:"cancel_on_error,omitempty"`
 }
 
-// expand resolves the request into fully validated per-point specs, or
-// the first client-facing error.
-func (r BatchRequest) expand(defaultTimeout time.Duration) ([]jobSpec, error) {
+// SkippedPoint records a sweep point the batch could not schedule —
+// today always an ML point the model registry cannot serve. It is
+// per-point status, not a batch failure: the rest of the sweep runs.
+type SkippedPoint struct {
+	Label  string `json:"label"`
+	Pair   string `json:"pair"`
+	Reason string `json:"reason"`
+}
+
+// expand resolves the request into fully validated per-point specs
+// plus the points skipped with a reason, or the first client-facing
+// error.
+func (r BatchRequest) expand(defaultTimeout time.Duration, reg *models.Registry) ([]jobSpec, []SkippedPoint, error) {
 	if r.Sweep != "" {
-		return r.expandSweep(defaultTimeout)
+		return r.expandSweep(defaultTimeout, reg)
 	}
 	if len(r.Workloads) == 0 {
-		return nil, errors.New("batch needs a non-empty workloads list or a sweep name")
+		return nil, nil, errors.New("batch needs a non-empty workloads list or a sweep name")
 	}
 	specs := make([]jobSpec, 0, len(r.Workloads))
 	for i, w := range r.Workloads {
@@ -67,38 +85,40 @@ func (r BatchRequest) expand(defaultTimeout time.Duration) ([]jobSpec, error) {
 			WarmupCycles:  r.WarmupCycles,
 			MeasureCycles: r.MeasureCycles,
 			LinkScale:     r.LinkScale,
+			Model:         r.Model,
 			TimeoutMS:     r.TimeoutMS,
 		}
-		spec, err := req.resolve(defaultTimeout)
+		spec, err := req.resolve(defaultTimeout, reg)
 		if err != nil {
-			return nil, fmt.Errorf("workload %d (%s+%s): %w", i, w.CPU, w.GPU, err)
+			return nil, nil, fmt.Errorf("workload %d (%s+%s): %w", i, w.CPU, w.GPU, err)
 		}
 		specs = append(specs, spec)
 	}
-	return specs, nil
+	return specs, nil, nil
 }
 
-func (r BatchRequest) expandSweep(defaultTimeout time.Duration) ([]jobSpec, error) {
+func (r BatchRequest) expandSweep(defaultTimeout time.Duration, reg *models.Registry) ([]jobSpec, []SkippedPoint, error) {
 	if r.Backend != "" || r.Preset != "" || len(r.Config) > 0 || r.LinkScale != 0 {
-		return nil, fmt.Errorf("sweep %q fixes the configurations: backend, preset, config and link_scale must be empty", r.Sweep)
+		return nil, nil, fmt.Errorf("sweep %q fixes the configurations: backend, preset, config and link_scale must be empty", r.Sweep)
 	}
 	var pairs []traffic.Pair
 	for i, w := range r.Workloads {
 		cpu, err := traffic.ProfileByName(w.CPU)
 		if err != nil {
-			return nil, fmt.Errorf("workload %d: %w", i, err)
+			return nil, nil, fmt.Errorf("workload %d: %w", i, err)
 		}
 		gpu, err := traffic.ProfileByName(w.GPU)
 		if err != nil {
-			return nil, fmt.Errorf("workload %d: %w", i, err)
+			return nil, nil, fmt.Errorf("workload %d: %w", i, err)
 		}
 		pairs = append(pairs, traffic.Pair{CPU: cpu, GPU: gpu})
 	}
 	points, err := experiments.FigureSweep(r.Sweep, pairs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	specs := make([]jobSpec, 0, len(points))
+	var skipped []SkippedPoint
 	for _, p := range points {
 		cfg := p.Config
 		if r.WarmupCycles > 0 {
@@ -117,13 +137,26 @@ func (r BatchRequest) expandSweep(defaultTimeout time.Duration) ([]jobSpec, erro
 		if r.TimeoutMS > 0 {
 			spec.timeout = time.Duration(r.TimeoutMS) * time.Millisecond
 		}
-		spec, err := spec.finalize(defaultTimeout)
+		spec, err := spec.finalize(defaultTimeout, reg)
 		if err != nil {
-			return nil, fmt.Errorf("sweep point %s on %s: %w", p.Label, p.Pair.Name(), err)
+			// Sweep configurations are valid by construction, so a
+			// finalize error on an ML point means the registry cannot
+			// serve its model. Skip the point with the reason rather than
+			// failing the whole sweep — the registry is operator state,
+			// not part of the request.
+			if p.Backend == BackendPEARL && cfg.Power == config.PowerML {
+				skipped = append(skipped, SkippedPoint{
+					Label:  p.Label,
+					Pair:   p.Pair.Name(),
+					Reason: err.Error(),
+				})
+				continue
+			}
+			return nil, nil, fmt.Errorf("sweep point %s on %s: %w", p.Label, p.Pair.Name(), err)
 		}
 		specs = append(specs, spec)
 	}
-	return specs, nil
+	return specs, skipped, nil
 }
 
 // Batch tracks one submitted batch: its per-point jobs plus the
@@ -132,6 +165,9 @@ type Batch struct {
 	ID            string
 	cancelOnError bool
 	submitted     time.Time
+	// skipped lists sweep points that never became jobs (unservable ML
+	// points); immutable after submission.
+	skipped []SkippedPoint
 
 	mu        sync.Mutex
 	jobs      []*Job
@@ -217,6 +253,9 @@ type BatchStatus struct {
 	Progress    float64     `json:"progress"`
 	SubmittedAt string      `json:"submitted_at"`
 	Points      []JobStatus `json:"points,omitempty"`
+	// Skipped lists sweep points dropped at submission (with reasons);
+	// they are not counted in Total.
+	Skipped []SkippedPoint `json:"skipped,omitempty"`
 }
 
 // status aggregates the batch's point states.
@@ -226,6 +265,7 @@ func (b *Batch) status(includePoints bool) BatchStatus {
 		ID:          b.ID,
 		Total:       len(jobs),
 		SubmittedAt: b.submitted.UTC().Format(time.RFC3339Nano),
+		Skipped:     b.skipped,
 	}
 	for _, j := range jobs {
 		js := j.Status()
@@ -342,7 +382,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	specs, err := req.expand(s.opts.DefaultTimeout)
+	specs, skipped, err := req.expand(s.opts.DefaultTimeout, s.models)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid batch: %v", err)
 		return
@@ -351,11 +391,16 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch expands to %d points (limit %d)", len(specs), maxBatchPoints)
 		return
 	}
+	if len(specs) == 0 {
+		httpError(w, http.StatusBadRequest, "batch has no runnable points (%d skipped: %s)", len(skipped), skipped[0].Reason)
+		return
+	}
 
 	b := &Batch{
 		ID:            fmt.Sprintf("batch-%06d", s.nextBatchID.Add(1)),
 		cancelOnError: req.CancelOnError,
 		submitted:     time.Now(),
+		skipped:       skipped,
 	}
 	s.batches.add(b)
 	s.metrics.batchSubmitted()

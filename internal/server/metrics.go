@@ -20,6 +20,7 @@ type metrics struct {
 	rejected  uint64
 	coalesced uint64
 	batches   uint64
+	uploads   uint64
 	cacheHits uint64
 	cacheMiss uint64
 	diskHits  uint64
@@ -45,6 +46,7 @@ func (m *metrics) jobCancelled()   { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
 func (m *metrics) jobFailed()      { m.mu.Lock(); m.failed++; m.mu.Unlock() }
 func (m *metrics) jobCoalesced()   { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
 func (m *metrics) batchSubmitted() { m.mu.Lock(); m.batches++; m.mu.Unlock() }
+func (m *metrics) modelUploaded()  { m.mu.Lock(); m.uploads++; m.mu.Unlock() }
 func (m *metrics) cacheMissed()    { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
 func (m *metrics) diskCacheError() { m.mu.Lock(); m.diskErrs++; m.mu.Unlock() }
 
@@ -103,12 +105,15 @@ type MetricsSnapshot struct {
 	JobsRejected      uint64  `json:"jobs_rejected"`
 	// JobsCoalesced counts submissions that attached to identical
 	// in-flight work instead of simulating (singleflight).
-	JobsCoalesced    uint64  `json:"jobs_coalesced"`
-	BatchesSubmitted uint64  `json:"batches_submitted"`
-	CacheHits        uint64  `json:"cache_hits"`
-	CacheMisses      uint64  `json:"cache_misses"`
-	CacheHitRate     float64 `json:"cache_hit_rate"`
-	CacheEntries     int     `json:"cache_entries"`
+	JobsCoalesced    uint64 `json:"jobs_coalesced"`
+	BatchesSubmitted uint64 `json:"batches_submitted"`
+	// Hosted-model registry: current catalogue size and lifetime uploads.
+	ModelsHosted uint64  `json:"models_hosted"`
+	ModelUploads uint64  `json:"model_uploads"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
 	// Disk layer of the result cache (zero-valued when -cache-dir is
 	// not configured).
 	CacheDiskHits    uint64  `json:"cache_disk_hits"`
@@ -128,7 +133,7 @@ type diskSnapshot struct {
 }
 
 // snapshot captures a consistent view for the metrics endpoint.
-func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries int, disk diskSnapshot) MetricsSnapshot {
+func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int, disk diskSnapshot) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	q := m.latency.Percentiles(50, 99)
@@ -146,6 +151,8 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries int, disk diskSnap
 		JobsRejected:     m.rejected,
 		JobsCoalesced:    m.coalesced,
 		BatchesSubmitted: m.batches,
+		ModelsHosted:     uint64(modelsHosted),
+		ModelUploads:     m.uploads,
 		CacheHits:        m.cacheHits,
 		CacheMisses:      m.cacheMiss,
 		CacheEntries:     cacheEntries,

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/mlkit"
+	"repro/internal/models"
+)
+
+// syntheticArtifact hand-builds a valid artifact for a window: a ridge
+// model whose predictions scale with the bias knob, so two "retrained"
+// versions differ only in weights (and therefore in content hash).
+func syntheticArtifact(t *testing.T, window int, bias float64) *models.Artifact {
+	t.Helper()
+	p := mlkit.RidgeParams{
+		Lambda:  1,
+		Mean:    make([]float64, features.Count),
+		Std:     make([]float64, features.Count),
+		Weights: make([]float64, features.Count),
+		Bias:    bias,
+	}
+	for i := range p.Std {
+		p.Std[i] = 1
+		p.Weights[i] = 0.01
+	}
+	art, err := models.New(window, 1, 0.5, p, models.Meta{Seed: 7})
+	if err != nil {
+		t.Fatalf("building artifact: %v", err)
+	}
+	return art
+}
+
+// uploadModel POSTs the artifact under name and returns the HTTP code
+// plus the response body.
+func uploadModel(t *testing.T, ts *httptest.Server, name string, art *models.Artifact) (int, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/models?name="+name, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	_, _ = body.ReadFrom(resp.Body)
+	return resp.StatusCode, body.String()
+}
+
+func TestModelUploadAndList(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	art := syntheticArtifact(t, 500, 2)
+
+	if code, body := uploadModel(t, ts, "", art); code != http.StatusBadRequest {
+		t.Fatalf("nameless upload: HTTP %d (%s)", code, body)
+	}
+	if code, body := uploadModel(t, ts, "../evil", art); code != http.StatusBadRequest {
+		t.Fatalf("traversal name: HTTP %d (%s)", code, body)
+	}
+	resp, err := http.Post(ts.URL+"/v1/models?name=rw500", "application/json",
+		strings.NewReader(`{"schema_version":1,"window":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body: HTTP %d", resp.StatusCode)
+	}
+
+	code, body := uploadModel(t, ts, "rw500", art)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: HTTP %d (%s)", code, body)
+	}
+	if !strings.Contains(body, art.Hash) {
+		t.Fatalf("upload response %q missing artifact hash", body)
+	}
+
+	var listing struct {
+		Models []models.Entry `json:"models"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/models", &listing); code != http.StatusOK {
+		t.Fatalf("list: HTTP %d", code)
+	}
+	if len(listing.Models) != 1 || listing.Models[0].Name != "rw500" || listing.Models[0].Hash != art.Hash {
+		t.Fatalf("listing %+v", listing.Models)
+	}
+
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.ModelsHosted != 1 || m.ModelUploads != 1 {
+		t.Fatalf("model metrics hosted=%d uploads=%d, want 1/1", m.ModelsHosted, m.ModelUploads)
+	}
+}
+
+func TestModelWindowMismatchRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	// A model trained for RW2000 registered under the name the RW500
+	// preset resolves: submission must fail with the window mismatch.
+	if code, body := uploadModel(t, ts, "rw500", syntheticArtifact(t, 2000, 2)); code != http.StatusCreated {
+		t.Fatalf("upload: HTTP %d (%s)", code, body)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"preset":"ml-rw500","workload":{"cpu":"fmm","gpu":"DCT"},"warmup_cycles":200,"measure_cycles":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	_, _ = body.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("window mismatch: HTTP %d (%s)", resp.StatusCode, body.String())
+	}
+	if !strings.Contains(body.String(), "RW2000") || !strings.Contains(body.String(), "RW500") {
+		t.Fatalf("error %q does not explain the window mismatch", body.String())
+	}
+}
+
+// TestMLJobLifecycleAndRetrainCacheMiss is the registry's end-to-end
+// story: an uploaded model serves an ML job, an identical resubmission
+// hits the cache, and a retrained model (different weights, same name)
+// changes the config hash so the stale result is NOT reused.
+func TestMLJobLifecycleAndRetrainCacheMiss(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	v1 := syntheticArtifact(t, 500, 2)
+	if code, body := uploadModel(t, ts, "rw500", v1); code != http.StatusCreated {
+		t.Fatalf("upload v1: HTTP %d (%s)", code, body)
+	}
+
+	mlJob := `{"preset":"ml-rw500","workload":{"cpu":"fmm","gpu":"DCT"},"warmup_cycles":200,"measure_cycles":2000}`
+	code, st := postJob(t, ts, mlJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("ml submit: HTTP %d", code)
+	}
+	if st.Model != v1.Hash {
+		t.Fatalf("job pinned model %q, want v1 hash %q", st.Model, v1.Hash)
+	}
+	done := pollUntil(t, ts, st.ID, func(s JobStatus) bool { return JobState(s.State).Terminal() }, 30*time.Second)
+	if done.State != string(StateDone) {
+		t.Fatalf("ml job finished %s (error %q)", done.State, done.Error)
+	}
+
+	// Identical resubmission: same model version, so a cache hit.
+	code, st2 := postJob(t, ts, mlJob)
+	if code != http.StatusOK || !st2.Cached {
+		t.Fatalf("resubmit: HTTP %d cached=%v, want 200/true", code, st2.Cached)
+	}
+	if st2.CacheKey != st.CacheKey {
+		t.Fatalf("resubmit changed cache key: %s vs %s", st2.CacheKey, st.CacheKey)
+	}
+
+	// "Retrain": different weights under the same name. The new artifact
+	// hash flows into the config hash, so the old result must not serve.
+	v2 := syntheticArtifact(t, 500, 3)
+	if v2.Hash == v1.Hash {
+		t.Fatal("retrained artifact has identical content hash")
+	}
+	if code, body := uploadModel(t, ts, "rw500", v2); code != http.StatusCreated {
+		t.Fatalf("upload v2: HTTP %d (%s)", code, body)
+	}
+	code, st3 := postJob(t, ts, mlJob)
+	if code != http.StatusAccepted || st3.Cached {
+		t.Fatalf("post-retrain submit: HTTP %d cached=%v, want 202/false", code, st3.Cached)
+	}
+	if st3.Model != v2.Hash {
+		t.Fatalf("post-retrain job pinned %q, want v2 hash %q", st3.Model, v2.Hash)
+	}
+	if st3.CacheKey == st.CacheKey {
+		t.Fatal("retrained model reused the old cache key")
+	}
+	done3 := pollUntil(t, ts, st3.ID, func(s JobStatus) bool { return JobState(s.State).Terminal() }, 30*time.Second)
+	if done3.State != string(StateDone) {
+		t.Fatalf("post-retrain job finished %s (error %q)", done3.State, done3.Error)
+	}
+
+	// Replacing the name evicted v1 from the registry, so addressing it
+	// by content hash is now an unknown model.
+	hashJob := fmt.Sprintf(
+		`{"preset":"ml-rw500","model":%q,"workload":{"cpu":"fmm","gpu":"DCT"},"warmup_cycles":200,"measure_cycles":2000}`, v1.Hash)
+	if code, _ := postJob(t, ts, hashJob); code != http.StatusBadRequest {
+		t.Fatalf("hash-addressed evicted model: HTTP %d, want 400", code)
+	}
+	// Re-registering v1 under any name makes its hash resolvable again,
+	// and the hash-addressed job lands on the ORIGINAL cache entry: a
+	// name ref and its hash ref share one pinned key.
+	if code, body := uploadModel(t, ts, "rw500-v1", v1); code != http.StatusCreated {
+		t.Fatalf("re-upload v1: HTTP %d (%s)", code, body)
+	}
+	code, st4 := postJob(t, ts, hashJob)
+	if code != http.StatusOK || !st4.Cached || st4.CacheKey != st.CacheKey {
+		t.Fatalf("hash-addressed v1: HTTP %d cached=%v key=%s, want the original entry", code, st4.Cached, st4.CacheKey)
+	}
+}
+
+func TestSweepSkipsUnservableMLPoints(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	// Register only the RW500 model: fig7's RW500 ML points run, its
+	// RW2000 point is skipped with a reason, and the sweep still runs.
+	if code, body := uploadModel(t, ts, "rw500", syntheticArtifact(t, 500, 2)); code != http.StatusCreated {
+		t.Fatalf("upload: HTTP %d (%s)", code, body)
+	}
+	code, st := postBatch(t, ts, `{"sweep":"fig7","workloads":[{"cpu":"fmm","gpu":"DCT"}],"warmup_cycles":200,"measure_cycles":2000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit: HTTP %d", code)
+	}
+	if len(st.Skipped) != 1 {
+		t.Fatalf("skipped %d points, want only the RW2000 ML point: %+v", len(st.Skipped), st.Skipped)
+	}
+	sk := st.Skipped[0]
+	if !strings.Contains(sk.Label, "RW2000") || !strings.Contains(sk.Reason, "hosted model") {
+		t.Fatalf("skip entry %+v lacks label/reason", sk)
+	}
+	if st.Total != 5 {
+		t.Fatalf("scheduled %d points, want 5 (6 fig7 rows minus 1 skip)", st.Total)
+	}
+
+	final := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.Done+b.Failed+b.Cancelled == b.Total }, 60*time.Second)
+	if final.State != "done" || final.Failed != 0 {
+		t.Fatalf("sweep finished %s (failed %d)", final.State, final.Failed)
+	}
+
+	// The figure-shaped aggregation keeps the skip visible and averages
+	// the finished points per configuration label.
+	var res BatchResults
+	if code := getJSON(t, ts.URL+"/v1/batches/"+st.ID+"/results", &res); code != http.StatusOK {
+		t.Fatalf("results: HTTP %d", code)
+	}
+	if !res.Complete || len(res.Skipped) != 1 || len(res.Series) != 5 {
+		t.Fatalf("results complete=%v skipped=%d series=%d", res.Complete, len(res.Skipped), len(res.Series))
+	}
+	for _, row := range res.Series {
+		if row.Points != row.Expected || row.Points == 0 {
+			t.Fatalf("series row %+v incomplete", row)
+		}
+		if row.ThroughputBitsPerCycle <= 0 || row.AvgLaserPowerW <= 0 {
+			t.Fatalf("series row %+v has degenerate means", row)
+		}
+	}
+
+	// With no registry entry at all, an all-ML sweep has nothing to run.
+	_, bare := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Post(bare.URL+"/v1/batches", "application/json",
+		strings.NewReader(`{"sweep":"fig8","workloads":[{"cpu":"fmm","gpu":"DCT"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("all-ML sweep without models: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestModelDirPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	art := syntheticArtifact(t, 500, 2)
+	_, ts := newTestServer(t, Options{Workers: 1, ModelDir: dir})
+	if code, body := uploadModel(t, ts, "rw500", art); code != http.StatusCreated {
+		t.Fatalf("upload: HTTP %d (%s)", code, body)
+	}
+
+	// A fresh daemon over the same directory serves the model at boot.
+	_, ts2 := newTestServer(t, Options{Workers: 1, ModelDir: dir})
+	var listing struct {
+		Models []models.Entry `json:"models"`
+	}
+	getJSON(t, ts2.URL+"/v1/models", &listing)
+	if len(listing.Models) != 1 || listing.Models[0].Hash != art.Hash {
+		t.Fatalf("restarted daemon lost the model: %+v", listing.Models)
+	}
+	code, st := postJob(t, ts2, `{"preset":"ml-rw500","workload":{"cpu":"fmm","gpu":"DCT"},"warmup_cycles":200,"measure_cycles":2000}`)
+	if code != http.StatusAccepted || st.Model != art.Hash {
+		t.Fatalf("ml job after restart: HTTP %d model %q", code, st.Model)
+	}
+}

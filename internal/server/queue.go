@@ -217,6 +217,7 @@ func (j *Job) Status() JobStatus {
 		Backend:     j.spec.backend,
 		Config:      j.spec.cfg.Name(),
 		Pair:        j.spec.pair.Name(),
+		Model:       j.spec.cfg.ModelRef,
 		CacheKey:    j.key,
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"time"
+)
+
+// PointResult is one batch point in the results payload: the figure
+// row label it contributes to, its outcome, and (when done) the full
+// measurement.
+type PointResult struct {
+	Label  string `json:"label"`
+	Pair   string `json:"pair"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	// Model is the content hash of the artifact that served a PowerML
+	// point.
+	Model  string     `json:"model,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// SeriesRow aggregates a batch's finished points by configuration
+// label — the figure-shaped view: one row per configuration, metrics
+// averaged over its workload pairs (matching how the paper's figures
+// reduce the 16-pair sweeps).
+type SeriesRow struct {
+	Label string `json:"label"`
+	// Points counts finished pairs folded into the means; Expected is
+	// how many the batch scheduled for this label.
+	Points   int `json:"points"`
+	Expected int `json:"expected"`
+	// Means over the finished points.
+	ThroughputBitsPerCycle float64 `json:"throughput_bits_per_cycle"`
+	ThroughputGbps         float64 `json:"throughput_gbps"`
+	MeanLatencyCycles      float64 `json:"mean_latency_cycles"`
+	AvgLaserPowerW         float64 `json:"avg_laser_power_w"`
+	EnergyPerBitPJ         float64 `json:"energy_per_bit_pj"`
+}
+
+// BatchResults is the GET /v1/batches/{id}/results payload.
+type BatchResults struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Complete is true once every scheduled point is done (none failed
+	// or cancelled) — the series means cover the whole batch.
+	Complete    bool           `json:"complete"`
+	SubmittedAt string         `json:"submitted_at"`
+	Series      []SeriesRow    `json:"series"`
+	Points      []PointResult  `json:"points"`
+	Skipped     []SkippedPoint `json:"skipped,omitempty"`
+}
+
+// results assembles the figure-shaped aggregation: per-point outcomes
+// plus per-label means over whatever has finished so far. Callable at
+// any time — a half-done batch reports partial means with the finished
+// point counts alongside, so a client can tell a settled figure from a
+// snapshot.
+func (b *Batch) results() BatchResults {
+	jobs := b.snapshotJobs()
+	st := b.status(false)
+	out := BatchResults{
+		ID:          b.ID,
+		State:       st.State,
+		Complete:    st.Done == st.Total,
+		SubmittedAt: b.submitted.UTC().Format(time.RFC3339Nano),
+		Points:      make([]PointResult, 0, len(jobs)),
+		Skipped:     b.skipped,
+	}
+	type acc struct {
+		row   SeriesRow
+		order int
+	}
+	series := make(map[string]*acc)
+	order := 0
+	for _, j := range jobs {
+		label := j.spec.label()
+		a, ok := series[label]
+		if !ok {
+			a = &acc{row: SeriesRow{Label: label}, order: order}
+			series[label] = a
+			order++
+		}
+		a.row.Expected++
+
+		js := j.Status()
+		pr := PointResult{
+			Label:  label,
+			Pair:   js.Pair,
+			State:  js.State,
+			Cached: js.Cached,
+			Model:  js.Model,
+			Error:  js.Error,
+		}
+		if res, done := j.Result(); done {
+			pr.Result = res
+			a.row.Points++
+			a.row.ThroughputBitsPerCycle += res.ThroughputBitsPerCycle
+			a.row.ThroughputGbps += res.ThroughputGbps
+			a.row.MeanLatencyCycles += res.MeanLatencyCycles
+			a.row.AvgLaserPowerW += res.AvgLaserPowerW
+			a.row.EnergyPerBitPJ += res.EnergyPerBitPJ
+		}
+		out.Points = append(out.Points, pr)
+	}
+	rows := make([]*acc, 0, len(series))
+	for _, a := range series {
+		if n := float64(a.row.Points); n > 0 {
+			a.row.ThroughputBitsPerCycle /= n
+			a.row.ThroughputGbps /= n
+			a.row.MeanLatencyCycles /= n
+			a.row.AvgLaserPowerW /= n
+			a.row.EnergyPerBitPJ /= n
+		}
+		rows = append(rows, a)
+	}
+	// First-seen order, which for sweeps is the figure's row order.
+	sort.Slice(rows, func(i, k int) bool { return rows[i].order < rows[k].order })
+	out.Series = make([]SeriesRow, len(rows))
+	for i, a := range rows {
+		out.Series[i] = a.row
+	}
+	return out
+}
+
+// handleBatchResults is GET /v1/batches/{id}/results.
+func (s *Server) handleBatchResults(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.batches.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	writeJSON(w, http.StatusOK, b.results())
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/models"
 )
 
 // Options sizes the daemon.
@@ -28,6 +30,11 @@ type Options struct {
 	// CacheDirMaxBytes caps the disk cache footprint (default 256 MiB);
 	// the oldest entries are evicted past it.
 	CacheDirMaxBytes int64
+	// ModelDir, when non-empty, backs the hosted-model registry with a
+	// directory of trained artifacts: every *.json in it is served at
+	// boot (name = filename minus .json) and uploads persist there.
+	// Empty keeps the registry in memory (uploads only).
+	ModelDir string
 	// DefaultTimeout bounds each job's wall-clock runtime unless the
 	// request overrides it (default 5 minutes).
 	DefaultTimeout time.Duration
@@ -58,6 +65,7 @@ type Server struct {
 	disk    *diskStore // nil without Options.CacheDir
 	flight  *flightTable
 	batches *batchRegistry
+	models  *models.Registry
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -70,8 +78,9 @@ type Server struct {
 	nextBatchID atomic.Uint64
 }
 
-// New builds a server and starts its worker pool. The only error path
-// is an unusable Options.CacheDir.
+// New builds a server and starts its worker pool. The error paths are
+// an unusable Options.CacheDir or Options.ModelDir (including a corrupt
+// model artifact — a daemon never boots with a silently missing model).
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -94,13 +103,22 @@ func New(opts Options) (*Server, error) {
 		}
 		s.disk = disk
 	}
+	reg, err := models.OpenRegistry(opts.ModelDir)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.models = reg
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
+	s.mux.HandleFunc("GET /v1/batches/{id}/results", s.handleBatchResults)
 	s.mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
+	s.mux.HandleFunc("POST /v1/models", s.handleModelUpload)
+	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	for w := 0; w < opts.Workers; w++ {
@@ -192,7 +210,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	spec, err := req.resolve(s.opts.DefaultTimeout)
+	spec, err := req.resolve(s.opts.DefaultTimeout, s.models)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid job: %v", err)
 		return
@@ -255,7 +273,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		disk.entries, disk.bytes = s.disk.stats()
 	}
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len(), disk))
+		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len(), s.models.Len(), disk))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -17,7 +17,7 @@ func (s jobSpec) run(ctx context.Context) (experiments.Result, error) {
 	if s.backend == BackendCMESH {
 		return experiments.RunCMESHCtx(ctx, s.cfg, s.pair, opts, s.linkScale)
 	}
-	return experiments.RunPEARLCtx(ctx, s.cfg, s.pair, opts, nil)
+	return experiments.RunPEARLCtx(ctx, s.cfg, s.pair, opts, s.predictor)
 }
 
 // worker drains the queue until it is closed; each claimed job runs to

@@ -19,12 +19,15 @@
 package pearl
 
 import (
+	"io"
+
 	"repro/internal/cache"
 	"repro/internal/cmesh"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mlkit"
+	"repro/internal/models"
 	"repro/internal/noc"
 	"repro/internal/photonic"
 	"repro/internal/power"
@@ -83,8 +86,12 @@ type (
 	Table = experiments.Table
 	// Suite reproduces the paper's full evaluation.
 	Suite = experiments.Suite
-	// TrainedModel is the deployable ridge predictor.
-	TrainedModel = experiments.TrainedModel
+	// TrainedModel is the deployable ridge predictor, packaged as a
+	// versioned, content-hashed model artifact (see internal/models).
+	TrainedModel = models.Artifact
+	// ModelRegistry hosts named trained models for serving (pearld's
+	// -model-dir store).
+	ModelRegistry = models.Registry
 	// Ridge is the closed-form regression of Eq. 4-6.
 	Ridge = mlkit.Ridge
 	// Dataset accumulates (features, label) examples.
@@ -182,6 +189,15 @@ func Train(window int, opts Options) (*TrainedModel, error) {
 func Evaluate(model *TrainedModel, opts Options) (experiments.Evaluation, error) {
 	return experiments.Evaluate(model, opts)
 }
+
+// LoadModel reads a trained-model artifact (current format or the
+// legacy pearltrain JSON), validating its content hash and feature
+// schema.
+func LoadModel(r io.Reader) (*TrainedModel, error) { return models.Load(r) }
+
+// OpenModelRegistry opens a directory-backed model registry (empty dir
+// means memory-only).
+func OpenModelRegistry(dir string) (*ModelRegistry, error) { return models.OpenRegistry(dir) }
 
 // NewCoherenceDriver wires a fresh NMOESI cache hierarchy to a network.
 func NewCoherenceDriver(target cache.Injector, seed uint64) *CoherenceDriver {
