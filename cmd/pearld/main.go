@@ -10,6 +10,7 @@
 //	pearld -cache-dir /var/cache/pearld            # results survive restarts
 //	pearld -cache-dir d -warm-cache results/       # preload from artifacts
 //	pearld -model-dir models/                      # host trained ML models
+//	pearld -peers http://b:8080,http://c:8080      # shard batches across peers
 //
 // SIGINT/SIGTERM starts a graceful drain: intake stops (503), queued
 // jobs are cancelled, in-flight simulations finish (bounded by
@@ -26,6 +27,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,17 +36,21 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		queue       = flag.Int("queue", 64, "bounded job-queue depth")
-		cacheCap    = flag.Int("cache", 1024, "result-cache capacity (entries, LRU)")
-		cacheDir    = flag.String("cache-dir", "", "directory for the disk-persistent result cache (empty = memory only)")
-		cacheDirMax = flag.Int64("cache-dir-max", 0, "disk cache size cap in bytes (0 = 256 MiB default)")
-		warmCache   = flag.String("warm-cache", "", "JSON artifact file or directory to preload the cache from")
-		modelDir    = flag.String("model-dir", "", "directory of trained model artifacts to host (rw500.json serves ref \"rw500\"); uploads via POST /v1/models persist here")
-		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
-		drainGrace  = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
-		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); kept off the API listener so profiling is never exposed with it")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "bounded job-queue depth")
+		cacheCap     = flag.Int("cache", 1024, "result-cache capacity (entries, LRU)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the disk-persistent result cache (empty = memory only)")
+		cacheDirMax  = flag.Int64("cache-dir-max", 0, "disk cache size cap in bytes (0 = 256 MiB default)")
+		warmCache    = flag.String("warm-cache", "", "JSON artifact file or directory to preload the cache from")
+		modelDir     = flag.String("model-dir", "", "directory of trained model artifacts to host (rw500.json serves ref \"rw500\"); uploads via POST /v1/models persist here")
+		peers        = flag.String("peers", "", "comma-separated base URLs of shard peers (e.g. http://b:8080,http://c:8080); batch points are partitioned across peers by content hash")
+		shardTimeout = flag.Duration("shard-timeout", 0, "per-request timeout for shard peer calls (0 = 15s default)")
+		shardRetries = flag.Int("shard-retries", 0, "attempts against an unavailable peer before falling back to local execution (0 = 3 default)")
+
+		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
+		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+		pprofAddr  = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); kept off the API listener so profiling is never exposed with it")
 	)
 	flag.Parse()
 
@@ -60,11 +66,26 @@ func main() {
 		CacheDirMaxBytes: *cacheDirMax,
 		ModelDir:         *modelDir,
 		DefaultTimeout:   *timeout,
+		Peers:            splitPeers(*peers),
+		ShardTimeout:     *shardTimeout,
+		ShardRetries:     *shardRetries,
 	}
 	if err := run(*addr, opts, *warmCache, *drainGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "pearld:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers turns the -peers flag into the Options list, tolerating
+// spaces and empty elements ("a, b," -> ["a", "b"]).
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // servePprof exposes the standard pprof handlers on their own listener,

@@ -12,6 +12,8 @@
 //	POST   /v1/batches          submit a (config, pair) sweep (BatchRequest) -> BatchStatus
 //	GET    /v1/batches/{id}     poll a batch: per-point status + aggregate progress
 //	DELETE /v1/batches/{id}     cancel every unfinished point of a batch
+//	GET    /v1/cache/{key}      export one cached result as a CacheEntry
+//	POST   /v1/cache            import a CacheEntry (shard replication)
 //	GET    /metrics             MetricsSnapshot (queue, counters, latency)
 //	GET    /healthz             liveness probe
 //
@@ -109,11 +111,28 @@ const (
 	maxWarmupCycles  = 1_000_000
 )
 
+// validateCycleOverrides rejects externally supplied run lengths the
+// server could never accept, checked at int64 width BEFORE any
+// narrowing to int — a value that would overflow int must not wrap
+// into something that slips past the limit checks.
+func validateCycleOverrides(warmup, measure int64) error {
+	if warmup > maxWarmupCycles {
+		return fmt.Errorf("warmup_cycles %d above server limit %d", warmup, maxWarmupCycles)
+	}
+	if measure > maxMeasureCycles {
+		return fmt.Errorf("measure_cycles %d above server limit %d", measure, maxMeasureCycles)
+	}
+	return nil
+}
+
 // resolve validates the request and fills defaults, returning the
 // executable spec or a client-facing error. PowerML specs are resolved
 // against the model registry.
 func (r JobRequest) resolve(defaultTimeout time.Duration, reg *models.Registry) (jobSpec, error) {
 	spec := jobSpec{backend: r.Backend, linkScale: r.LinkScale, seed: r.Seed}
+	if err := validateCycleOverrides(r.WarmupCycles, r.MeasureCycles); err != nil {
+		return jobSpec{}, err
+	}
 
 	cfg := config.Default()
 	if r.Preset != "" {
@@ -345,7 +364,10 @@ type JobStatus struct {
 	Cached   bool   `json:"cached"`
 	// Coalesced marks a job that attached to identical in-flight work
 	// (singleflight) instead of simulating on its own.
-	Coalesced   bool   `json:"coalesced,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Remote marks a batch point executed on a shard peer and imported
+	// through the cache exchange.
+	Remote      bool   `json:"remote,omitempty"`
 	Error       string `json:"error,omitempty"`
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`

@@ -101,6 +101,11 @@ func (r BatchRequest) expandSweep(defaultTimeout time.Duration, reg *models.Regi
 	if r.Backend != "" || r.Preset != "" || len(r.Config) > 0 || r.LinkScale != 0 {
 		return nil, nil, fmt.Errorf("sweep %q fixes the configurations: backend, preset, config and link_scale must be empty", r.Sweep)
 	}
+	// Checked at int64 width before the int(...) narrowings below, so a
+	// value that overflows int cannot wrap past finalize's limit checks.
+	if err := validateCycleOverrides(r.WarmupCycles, r.MeasureCycles); err != nil {
+		return nil, nil, err
+	}
 	var pairs []traffic.Pair
 	for i, w := range r.Workloads {
 		cpu, err := traffic.ProfileByName(w.CPU)
@@ -430,7 +435,11 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(deferred) > 0 {
-		go s.feedBatch(deferred)
+		if s.shard != nil {
+			go s.feedBatchSharded(deferred)
+		} else {
+			go s.feedBatch(deferred)
+		}
 	}
 	code := http.StatusAccepted
 	if allCached {

@@ -88,6 +88,11 @@ func TestBatchRequestErrorPaths(t *testing.T) {
 		{"sweep with bad workload", `{"sweep":"fig4","workloads":[{"cpu":"nope","gpu":"DCT"}]}`, "unknown benchmark"},
 		{"oversized batch", many.String(), "limit 256"},
 		{"measure above limit", `{"measure_cycles":6000000,"workloads":[{"cpu":"fmm","gpu":"DCT"}]}`, "above server limit"},
+		// Overrides far past int32 range must be rejected at int64 width
+		// (the specific "warmup_cycles"/"measure_cycles" wording), never
+		// narrowed to int first where they could wrap past the limits.
+		{"sweep warmup overflows int", `{"sweep":"fig4","warmup_cycles":9000000000}`, "warmup_cycles"},
+		{"sweep measure overflows int", `{"sweep":"fig4","measure_cycles":9000000000}`, "measure_cycles"},
 		{"ml preset rejected", `{"preset":"ml-rw500","workloads":[{"cpu":"fmm","gpu":"DCT"}]}`, "hosted model"},
 	}
 	for _, tc := range cases {

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // CacheEntry is the on-disk / warm-artifact envelope for one cached
@@ -144,6 +145,12 @@ func (d *diskStore) Get(key string) (*JobResult, error) {
 	if entry.Key != key {
 		return nil, fmt.Errorf("disk cache: file %s holds entry keyed %q (corrupt or misplaced)", key, entry.Key)
 	}
+	// Eviction orders by mtime, so a hit must refresh it — otherwise
+	// constantly-read entries are evicted by write age (FIFO, not LRU).
+	// Best-effort: a failed touch (e.g. a concurrent eviction) costs
+	// recency, not correctness.
+	now := time.Now()
+	_ = os.Chtimes(d.path(key), now, now)
 	return entry.Result, nil
 }
 

@@ -185,6 +185,48 @@ func TestDiskStoreEvictsOldestPastCap(t *testing.T) {
 	}
 }
 
+// TestDiskStoreEvictionIsLRUNotFIFO: a Get must refresh the entry's
+// eviction age. The oldest-written entry is read (hot) and must
+// survive the capped reopen, while an unread newer entry is evicted —
+// without the touch, eviction orders by write age and throws out the
+// store's most useful entries.
+func TestDiskStoreEvictionIsLRUNotFIFO(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := newDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := probe.Put(testKey(i), testResult(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		mtime := time.Now().Add(time.Duration(i-5) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, testKey(i)+".json"), mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// testKey(0) is the oldest write; reading it marks it hot.
+	if res, err := probe.Get(testKey(0)); err != nil || res == nil {
+		t.Fatalf("reading hot entry: (%+v, %v)", res, err)
+	}
+	_, total := probe.stats()
+	entryBytes := total / 4
+	cap := 3*entryBytes + entryBytes/2
+
+	// Reopen capped at ~3.5 entries: exactly one entry must go, and it
+	// must be the coldest — testKey(1) — not the oldest-written hot one.
+	d, err := newDiskStore(dir, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := d.Get(testKey(0)); err != nil || res == nil {
+		t.Fatalf("hot entry evicted (FIFO, not LRU): (%+v, %v)", res, err)
+	}
+	if res, err := d.Get(testKey(1)); err != nil || res != nil {
+		t.Fatalf("coldest entry survived eviction: (%+v, %v)", res, err)
+	}
+}
+
 func TestDiskStoreSweepsStaleTempFiles(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("half a write"), 0o644); err != nil {

@@ -60,8 +60,10 @@ func (s *Server) admit(job *Job, enqueue bool) admission {
 		s.reg.add(job)
 		return admitCached
 	}
-	s.metrics.cacheMissed()
 	s.reg.add(job)
+	if s.testHookAfterCacheMiss != nil {
+		s.testHookAfterCacheMiss(job)
+	}
 
 	s.flight.mu.Lock()
 	if leader, ok := s.flight.inflight[job.key]; ok {
@@ -70,21 +72,27 @@ func (s *Server) admit(job *Job, enqueue bool) admission {
 		// cancel-on-error cancelling sibling leaders) re-enters the
 		// flight table.
 		s.flight.mu.Unlock()
+		s.metrics.cacheMissed()
 		job.markFollower()
 		s.metrics.jobCoalesced()
 		leader.subscribe(func(l *Job) { s.settleFollower(job, l) })
 		return admitCoalesced
 	}
 	// The leader may have completed between the cache lookup and taking
-	// the lock; results are published to the cache before the flight
-	// entry is removed, so re-checking the memory cache here closes that
-	// window.
-	if result, ok := s.cache.Get(job.key); ok {
+	// the lock; results are published to the cache stack before the
+	// flight entry is removed, so re-checking here closes that window.
+	// The recheck must consult the full stack, not just the memory LRU:
+	// a leader's freshly published result may already have been evicted
+	// from memory while the disk layer still holds it.
+	if result, disk, ok := s.lookup(job.key); ok {
 		s.flight.mu.Unlock()
-		s.metrics.cacheHit(false)
+		s.metrics.cacheHit(disk)
 		job.finishCached(result)
 		return admitCached
 	}
+	// Only now is the submission definitively a miss; counting it any
+	// earlier double-books recheck hits as both a miss and a hit.
+	s.metrics.cacheMissed()
 	s.flight.inflight[job.key] = job
 	s.flight.mu.Unlock()
 	job.subscribe(func(*Job) { s.flight.remove(job.key, job) })

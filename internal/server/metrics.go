@@ -26,10 +26,20 @@ type metrics struct {
 	diskHits  uint64
 	diskErrs  uint64
 	warmed    uint64
-	busy      int
-	workers   int
-	latency   *stats.Histogram // seconds per completed job
-	upSince   time.Time
+	// Shard-layer counters: points handed to peers, remote completions
+	// imported, remote-owned points degraded to local execution, and
+	// cache-exchange traffic in both directions.
+	shardDispatch   uint64
+	shardRemote     uint64
+	shardFallback   uint64
+	shardRepl       uint64
+	shardReplErrs   uint64
+	cacheExportsCnt uint64
+	cacheImportsCnt uint64
+	busy            int
+	workers         int
+	latency         *stats.Histogram // seconds per completed job
+	upSince         time.Time
 }
 
 func newMetrics(workers int) *metrics {
@@ -49,6 +59,17 @@ func (m *metrics) batchSubmitted() { m.mu.Lock(); m.batches++; m.mu.Unlock() }
 func (m *metrics) modelUploaded()  { m.mu.Lock(); m.uploads++; m.mu.Unlock() }
 func (m *metrics) cacheMissed()    { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
 func (m *metrics) diskCacheError() { m.mu.Lock(); m.diskErrs++; m.mu.Unlock() }
+
+// Shard counters. shardDispatched marks a point handed to a peer;
+// shardServed a remote completion imported; shardFellBack a
+// remote-owned point degraded to local execution.
+func (m *metrics) shardDispatched()      { m.mu.Lock(); m.shardDispatch++; m.mu.Unlock() }
+func (m *metrics) shardServed()          { m.mu.Lock(); m.shardRemote++; m.mu.Unlock() }
+func (m *metrics) shardFellBack()        { m.mu.Lock(); m.shardFallback++; m.mu.Unlock() }
+func (m *metrics) shardReplicated()      { m.mu.Lock(); m.shardRepl++; m.mu.Unlock() }
+func (m *metrics) shardReplicateFailed() { m.mu.Lock(); m.shardReplErrs++; m.mu.Unlock() }
+func (m *metrics) cacheExported()        { m.mu.Lock(); m.cacheExportsCnt++; m.mu.Unlock() }
+func (m *metrics) cacheImported()        { m.mu.Lock(); m.cacheImportsCnt++; m.mu.Unlock() }
 
 // cacheHit records a result served without simulating; disk marks hits
 // the memory LRU missed but the persistent store satisfied.
@@ -116,14 +137,24 @@ type MetricsSnapshot struct {
 	CacheEntries int     `json:"cache_entries"`
 	// Disk layer of the result cache (zero-valued when -cache-dir is
 	// not configured).
-	CacheDiskHits    uint64  `json:"cache_disk_hits"`
-	CacheDiskEntries int     `json:"cache_disk_entries"`
-	CacheDiskBytes   int64   `json:"cache_disk_bytes"`
-	CacheDiskErrors  uint64  `json:"cache_disk_errors"`
-	CacheWarmed      uint64  `json:"cache_warmed_entries"`
-	JobLatencyMeanS  float64 `json:"job_latency_mean_s"`
-	JobLatencyP50S   float64 `json:"job_latency_p50_s"`
-	JobLatencyP99S   float64 `json:"job_latency_p99_s"`
+	CacheDiskHits    uint64 `json:"cache_disk_hits"`
+	CacheDiskEntries int    `json:"cache_disk_entries"`
+	CacheDiskBytes   int64  `json:"cache_disk_bytes"`
+	CacheDiskErrors  uint64 `json:"cache_disk_errors"`
+	CacheWarmed      uint64 `json:"cache_warmed_entries"`
+	// Shard layer (zero-valued when -peers is not configured).
+	ShardPeers            int    `json:"shard_peers"`
+	ShardRemoteDispatched uint64 `json:"shard_remote_dispatched"`
+	ShardRemoteServed     uint64 `json:"shard_remote_served"`
+	ShardLocalFallbacks   uint64 `json:"shard_local_fallbacks"`
+	ShardReplicated       uint64 `json:"shard_replicated_entries"`
+	ShardReplicateErrors  uint64 `json:"shard_replicate_errors"`
+	// Cache-exchange endpoint traffic (GET/POST /v1/cache).
+	CacheExports    uint64  `json:"cache_entries_exported"`
+	CacheImports    uint64  `json:"cache_entries_imported"`
+	JobLatencyMeanS float64 `json:"job_latency_mean_s"`
+	JobLatencyP50S  float64 `json:"job_latency_p50_s"`
+	JobLatencyP99S  float64 `json:"job_latency_p99_s"`
 }
 
 // diskSnapshot carries the disk store's live footprint into snapshot.
@@ -133,7 +164,7 @@ type diskSnapshot struct {
 }
 
 // snapshot captures a consistent view for the metrics endpoint.
-func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int, disk diskSnapshot) MetricsSnapshot {
+func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int, disk diskSnapshot, shardPeers int) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	q := m.latency.Percentiles(50, 99)
@@ -161,9 +192,19 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int,
 		CacheDiskBytes:   disk.bytes,
 		CacheDiskErrors:  m.diskErrs,
 		CacheWarmed:      m.warmed,
-		JobLatencyMeanS:  m.latency.Mean(),
-		JobLatencyP50S:   q[0],
-		JobLatencyP99S:   q[1],
+
+		ShardPeers:            shardPeers,
+		ShardRemoteDispatched: m.shardDispatch,
+		ShardRemoteServed:     m.shardRemote,
+		ShardLocalFallbacks:   m.shardFallback,
+		ShardReplicated:       m.shardRepl,
+		ShardReplicateErrors:  m.shardReplErrs,
+		CacheExports:          m.cacheExportsCnt,
+		CacheImports:          m.cacheImportsCnt,
+
+		JobLatencyMeanS: m.latency.Mean(),
+		JobLatencyP50S:  q[0],
+		JobLatencyP99S:  q[1],
 	}
 	if m.workers > 0 {
 		s.WorkerUtilization = float64(m.busy) / float64(m.workers)

@@ -41,6 +41,7 @@ type Job struct {
 	result    *JobResult
 	cached    bool
 	coalesced bool
+	remote    bool
 	follower  bool
 	subs      []func(*Job)
 	submitted time.Time
@@ -200,6 +201,30 @@ func (j *Job) finishCached(result *JobResult) {
 	notify(j, subs)
 }
 
+// finishRemote marks a job settled by a shard peer's execution: done,
+// cached (its entry was imported into the local cache first) and
+// remote. Reports whether this call settled the job — false when it was
+// already terminal (e.g. cancelled while the remote attempt was in
+// flight).
+func (j *Job) finishRemote(result *JobResult) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateDone
+	j.result = result
+	j.cached = true
+	j.remote = true
+	j.started = j.submitted
+	j.finished = time.Now()
+	subs := j.takeSubsLocked()
+	j.mu.Unlock()
+	j.cancel()
+	notify(j, subs)
+	return true
+}
+
 // Result returns the payload and whether the job is done.
 func (j *Job) Result() (*JobResult, bool) {
 	j.mu.Lock()
@@ -221,6 +246,7 @@ func (j *Job) Status() JobStatus {
 		CacheKey:    j.key,
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,
+		Remote:      j.remote,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if j.err != nil {

@@ -38,6 +38,22 @@ type Options struct {
 	// DefaultTimeout bounds each job's wall-clock runtime unless the
 	// request overrides it (default 5 minutes).
 	DefaultTimeout time.Duration
+	// Peers lists base URLs of sibling pearld daemons. When non-empty,
+	// batch points are partitioned across them by rendezvous-hashing
+	// each point's content hash; any remote failure degrades the point
+	// back to local execution. Empty disables sharding.
+	Peers []string
+	// ShardTimeout bounds each individual HTTP call to a peer
+	// (default 15s).
+	ShardTimeout time.Duration
+	// ShardRetries is how many submit/poll attempts a peer gets before
+	// a point falls back to local execution (default 3).
+	ShardRetries int
+	// ShardRetryBase is the first retry backoff; it doubles per attempt
+	// (default 100ms).
+	ShardRetryBase time.Duration
+	// ShardPollInterval paces remote job status polls (default 100ms).
+	ShardPollInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +69,18 @@ func (o Options) withDefaults() Options {
 	if o.DefaultTimeout <= 0 {
 		o.DefaultTimeout = 5 * time.Minute
 	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 15 * time.Second
+	}
+	if o.ShardRetries <= 0 {
+		o.ShardRetries = 3
+	}
+	if o.ShardRetryBase <= 0 {
+		o.ShardRetryBase = 100 * time.Millisecond
+	}
+	if o.ShardPollInterval <= 0 {
+		o.ShardPollInterval = 100 * time.Millisecond
+	}
 	return o
 }
 
@@ -66,8 +94,15 @@ type Server struct {
 	flight  *flightTable
 	batches *batchRegistry
 	models  *models.Registry
+	shard   *shardPool // nil without Options.Peers
 	metrics *metrics
 	mux     *http.ServeMux
+
+	// testHookAfterCacheMiss, when non-nil, runs after admit's first
+	// cache lookup misses and before the flight-table lock is taken —
+	// a test-only seam for deterministically exercising the
+	// leader-completes-between-lookup-and-lock window.
+	testHookAfterCacheMiss func(*Job)
 
 	rootCtx     context.Context
 	rootCancel  context.CancelFunc
@@ -109,6 +144,12 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.models = reg
+	shard, err := newShardPool(opts)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.shard = shard
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -119,6 +160,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
 	s.mux.HandleFunc("POST /v1/models", s.handleModelUpload)
 	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("POST /v1/cache", s.handleCachePut)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	for w := 0; w < opts.Workers; w++ {
@@ -272,8 +315,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.disk != nil {
 		disk.entries, disk.bytes = s.disk.stats()
 	}
+	peers := 0
+	if s.shard != nil {
+		peers = len(s.shard.peers)
+	}
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len(), s.models.Len(), disk))
+		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len(), s.models.Len(), disk, peers))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

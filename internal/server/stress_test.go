@@ -108,6 +108,14 @@ func TestConcurrentDuplicateSubmissionsSimulateOnce(t *testing.T) {
 		t.Fatalf("accounting leak: %d coalesced + %d cache hits + %d leaders != %d submissions",
 			m.JobsCoalesced, m.CacheHits, uniqueSpecs, len(ids))
 	}
+	// Each submission gets exactly one cache verdict: a hit (first
+	// lookup or under-lock recheck) or a miss. A recheck hit that was
+	// already booked as a miss breaks this balance and skews the
+	// reported hit rate.
+	if m.CacheHits+m.CacheMisses != uint64(len(ids)) {
+		t.Fatalf("cache verdicts double-counted: %d hits + %d misses != %d submissions",
+			m.CacheHits, m.CacheMisses, len(ids))
+	}
 }
 
 // TestDrainLosesNoCompletions starts a drain while duplicate-heavy
