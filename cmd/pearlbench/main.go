@@ -56,6 +56,8 @@ func realMain() int {
 		seed       = flag.Uint64("seed", 2018, "experiment seed")
 		sweep      = flag.String("sweep", "", "evaluate a named figure sweep ("+strings.Join(experiments.SweepNames(), ", ")+")")
 		cacheOut   = flag.String("cache-out", "", "with -sweep: write results as a pearld cache-warming artifact (JSON)")
+		serverURL  = flag.String("server", "", "with -sweep: submit to a running pearld at this base URL instead of simulating in-process; honors 429/503 Retry-After with bounded backoff")
+		token      = flag.String("token", "", "API token for -server (tenant bearer token)")
 		modelList  = flag.String("model", "", "comma-separated trained model artifact files (pearltrain -out); serves ML points instead of training in-process")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -118,10 +120,22 @@ func realMain() int {
 	}
 
 	if *sweep != "" {
+		if *serverURL != "" {
+			if *cacheOut != "" {
+				return fail(fmt.Errorf("-cache-out needs local results; drop -server (the daemon already caches server-side)"))
+			}
+			if err := runRemoteSweep(w, opts, *sweep, *serverURL, *token); err != nil {
+				return fail(err)
+			}
+			return 0
+		}
 		if err := runSweep(w, opts, *sweep, *cacheOut, arts); err != nil {
 			return fail(err)
 		}
 		return 0
+	}
+	if *serverURL != "" {
+		return fail(fmt.Errorf("-server requires -sweep (remote mode submits figure sweeps as batches)"))
 	}
 	if *md {
 		if err := newSuite(opts, arts).WriteMarkdownReport(w); err != nil {

@@ -11,10 +11,12 @@
 //	pearld -cache-dir d -warm-cache results/       # preload from artifacts
 //	pearld -model-dir models/                      # host trained ML models
 //	pearld -peers http://b:8080,http://c:8080      # shard batches across peers
+//	pearld -tenants tenants.json                   # token auth + fair-share scheduling
 //
 // SIGINT/SIGTERM starts a graceful drain: intake stops (503), queued
 // jobs are cancelled, in-flight simulations finish (bounded by
-// -drain-grace), then the process exits.
+// -drain-grace), then the process exits. SIGHUP reloads the -tenants
+// file in place without dropping queued or running jobs.
 package main
 
 import (
@@ -47,6 +49,8 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated base URLs of shard peers (e.g. http://b:8080,http://c:8080); batch points are partitioned across peers by content hash")
 		shardTimeout = flag.Duration("shard-timeout", 0, "per-request timeout for shard peer calls (0 = 15s default)")
 		shardRetries = flag.Int("shard-retries", 0, "attempts against an unavailable peer before falling back to local execution (0 = 3 default)")
+		tenants      = flag.String("tenants", "", "JSON tenant config file (tokens, weights, quotas); empty = open access as a single anonymous tenant. SIGHUP or POST /v1/admin/tenants/reload re-reads it")
+		shardToken   = flag.String("shard-token", "", "service API token peer calls fall back to when a job carries no tenant token (tokenized clusters)")
 
 		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
 		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
@@ -69,6 +73,8 @@ func main() {
 		Peers:            splitPeers(*peers),
 		ShardTimeout:     *shardTimeout,
 		ShardRetries:     *shardRetries,
+		TenantsFile:      *tenants,
+		ShardToken:       *shardToken,
 	}
 	if err := run(*addr, opts, *warmCache, *drainGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "pearld:", err)
@@ -127,6 +133,21 @@ func run(addr string, opts server.Options, warmCache string, drainGrace time.Dur
 	go func() {
 		log.Printf("pearld listening on %s", addr)
 		errCh <- httpServer.ListenAndServe()
+	}()
+
+	// SIGHUP hot-reloads the tenant config without touching queued or
+	// running jobs; a broken file logs and keeps the previous tenants.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if names, err := daemon.ReloadTenants(); err != nil {
+				log.Printf("pearld: tenant reload failed, keeping previous config: %v", err)
+			} else {
+				log.Printf("pearld: tenant config reloaded (%d tenants: %s)",
+					len(names), strings.Join(names, ", "))
+			}
+		}
 	}()
 
 	sig := make(chan os.Signal, 1)

@@ -352,8 +352,11 @@ func newJobResult(res experiments.Result) *JobResult {
 
 // JobStatus is the poll payload for a job in any state.
 type JobStatus struct {
-	ID      string `json:"id"`
-	State   string `json:"state"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Tenant is the authenticated principal that submitted the job
+	// ("anonymous" when no tenants file is configured).
+	Tenant  string `json:"tenant,omitempty"`
 	Backend string `json:"backend"`
 	Config  string `json:"config"`
 	Pair    string `json:"pair"`

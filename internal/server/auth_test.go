@@ -1,0 +1,516 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// writeTenantsFile writes a tenants config and returns its path.
+func writeTenantsFile(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testTenants = `{"tenants":[
+ {"name":"alice","token":"tok-alice","weight":2,"admin":true},
+ {"name":"bob","token":"tok-bob"}
+]}`
+
+// authedDo issues one request with a bearer token and returns the
+// status code, the decoded error body (if JSON) and the raw response.
+func authedDo(t *testing.T, method, url, token, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// authedGetJSON is getJSON with a bearer token — every /v1 read on a
+// tenant-enabled daemon needs one.
+func authedGetJSON(t *testing.T, url, token string, out any) int {
+	t.Helper()
+	resp, data := authedDo(t, http.MethodGet, url, token, "")
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func authedPollJob(t *testing.T, url, token, id string, pred func(JobStatus) bool, deadline time.Duration) JobStatus {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		var st JobStatus
+		if code := authedGetJSON(t, url+"/v1/jobs/"+id, token, &st); code != http.StatusOK {
+			t.Fatalf("poll %s: HTTP %d", id, code)
+		}
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s stuck in state %s after %v", id, st.State, deadline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func authedPollBatch(t *testing.T, url, token, id string, pred func(BatchStatus) bool, deadline time.Duration) BatchStatus {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		var st BatchStatus
+		if code := authedGetJSON(t, url+"/v1/batches/"+id, token, &st); code != http.StatusOK {
+			t.Fatalf("poll batch %s: HTTP %d", id, code)
+		}
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("batch %s stuck at %d/%d terminal after %v", id, st.Done+st.Failed+st.Cancelled, st.Total, deadline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// accepted reports a successful submission: 202 for fresh work, 200
+// when the result cache served it instantly.
+func accepted(code int) bool {
+	return code == http.StatusAccepted || code == http.StatusOK
+}
+
+func TestAuthGateRejectsUnknownTokens(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, TenantsFile: writeTenantsFile(t, testTenants)})
+
+	for _, tok := range []string{"", "tok-mallory"} {
+		resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", tok, quickJob)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("token %q: HTTP %d, want 401", tok, resp.StatusCode)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Fatal("401 without a WWW-Authenticate challenge")
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("401 body %q is not a structured error", body)
+		}
+	}
+	// Every /v1 verb is behind the gate, not just submission.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs/job-000001"},
+		{http.MethodGet, "/v1/models"},
+		{http.MethodPost, "/v1/batches"},
+		{http.MethodGet, "/v1/cache/0000000000000000000000000000000000000000000000000000000000000000"},
+	} {
+		resp, _ := authedDo(t, probe.method, ts.URL+probe.path, "", "")
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s %s without token: HTTP %d, want 401", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+	// Health and metrics stay open for probes and scrapers.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("/healthz behind auth: HTTP %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/metrics", nil); code != http.StatusOK {
+		t.Fatalf("/metrics behind auth: HTTP %d", code)
+	}
+
+	// A configured token passes, and the job carries its tenant.
+	resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-alice", quickJob)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("authenticated submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "alice" {
+		t.Fatalf("job tenant %q, want alice", st.Tenant)
+	}
+}
+
+func TestXAPITokenHeaderFallback(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, TenantsFile: writeTenantsFile(t, testTenants)})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader([]byte(quickJob)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-API-Token", "tok-bob")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || st.Tenant != "bob" {
+		t.Fatalf("X-API-Token submit: HTTP %d tenant %q, want 202/bob", resp.StatusCode, st.Tenant)
+	}
+}
+
+func TestNoTenantsFileMeansAnonymousOpenAccess(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	code, st := postJob(t, ts, quickJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("unauthenticated submit on an open daemon: HTTP %d", code)
+	}
+	if st.Tenant != "anonymous" {
+		t.Fatalf("tenant %q, want anonymous", st.Tenant)
+	}
+}
+
+func TestRateLimitReturns429WithRetryAfter(t *testing.T) {
+	tenants := writeTenantsFile(t,
+		`{"tenants":[{"name":"slow","token":"tok-slow","rate_per_sec":0.5,"burst":2}]}`)
+	_, ts := newTestServer(t, Options{Workers: 1, TenantsFile: tenants})
+
+	for i := 0; i < 2; i++ {
+		resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-slow", quickJob)
+		if !accepted(resp.StatusCode) {
+			t.Fatalf("submit %d within burst: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-slow", quickJob)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit beyond burst: HTTP %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After header %q, want whole seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" || e.RetryAfterMS <= 0 {
+		t.Fatalf("429 body %q, want structured error with retry_after_ms", body)
+	}
+	// 0.5/s refill from an empty bucket: the next token is ~2s out.
+	if e.RetryAfterMS > 2500 {
+		t.Fatalf("retry_after_ms = %d, want <= ~2000 for a 0.5/s refill", e.RetryAfterMS)
+	}
+
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.JobsThrottled != 1 || m.Tenants["slow"].JobsThrottled != 1 {
+		t.Fatalf("throttle counters global=%d tenant=%d, want 1/1",
+			m.JobsThrottled, m.Tenants["slow"].JobsThrottled)
+	}
+}
+
+func TestInFlightQuotaReleasesOnTerminal(t *testing.T) {
+	tenants := writeTenantsFile(t,
+		`{"tenants":[{"name":"capped","token":"tok-capped","max_in_flight":1}]}`)
+	_, ts := newTestServer(t, Options{Workers: 1, TenantsFile: tenants})
+
+	resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-capped", longJob)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var first JobStatus
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-capped", quickJob)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit over quota: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("quota 429 without Retry-After")
+	}
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Tenants["capped"].InFlight != 1 {
+		t.Fatalf("in-flight gauge %d, want 1", m.Tenants["capped"].InFlight)
+	}
+
+	// Cancelling the running job frees the slot (terminal-state release).
+	resp, _ = authedDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+first.ID, "tok-capped", "")
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body = authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-capped", quickJob)
+		if accepted(resp.StatusCode) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never released after cancel: HTTP %d: %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestBatchQuotaIsAllOrNothing(t *testing.T) {
+	tenants := writeTenantsFile(t,
+		`{"tenants":[{"name":"capped","token":"tok-capped","max_in_flight":4}]}`)
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 16, TenantsFile: tenants})
+
+	// 8 points against a 4-slot quota: refused whole, nothing admitted.
+	resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/batches", "tok-capped", eightPairBatch)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized batch: HTTP %d: %s, want 429", resp.StatusCode, body)
+	}
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if n := m.Tenants["capped"].InFlight; n != 0 {
+		t.Fatalf("refused batch leaked %d quota slots", n)
+	}
+
+	small := `{"warmup_cycles":200,"measure_cycles":2000,"workloads":[
+	 {"cpu":"fmm","gpu":"DCT"},{"cpu":"x264","gpu":"DCT"}]}`
+	resp, body = authedDo(t, http.MethodPost, ts.URL+"/v1/batches", "tok-capped", small)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch within quota: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st BatchStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Both slots release as the points finish.
+	authedPollBatch(t, ts.URL, "tok-capped", st.ID, func(b BatchStatus) bool { return b.Done == b.Total }, 30*time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/metrics", &m)
+		if m.Tenants["capped"].InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch completion left %d quota slots held", m.Tenants["capped"].InFlight)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestAdminTenantReload(t *testing.T) {
+	path := writeTenantsFile(t, testTenants)
+	_, ts := newTestServer(t, Options{Workers: 1, TenantsFile: path})
+
+	// Non-admin tenants may not reload.
+	resp, _ := authedDo(t, http.MethodPost, ts.URL+"/v1/admin/tenants/reload", "tok-bob", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("non-admin reload: HTTP %d, want 403", resp.StatusCode)
+	}
+
+	// The admin rolls out a new tenant without a restart.
+	updated := `{"tenants":[
+	 {"name":"alice","token":"tok-alice","admin":true},
+	 {"name":"carol","token":"tok-carol"}
+	]}`
+	if err := os.WriteFile(path, []byte(updated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/admin/tenants/reload", "tok-alice", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin reload: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Tenants []string `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || len(out.Tenants) != 2 {
+		t.Fatalf("reload response %q", body)
+	}
+
+	// The removed token stops working; the new one starts.
+	resp, _ = authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-bob", quickJob)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("removed tenant still submits: HTTP %d", resp.StatusCode)
+	}
+	resp, _ = authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-carol", quickJob)
+	if !accepted(resp.StatusCode) {
+		t.Fatalf("new tenant cannot submit: HTTP %d", resp.StatusCode)
+	}
+
+	// A corrupt edit keeps the previous tenant set serving.
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = authedDo(t, http.MethodPost, ts.URL+"/v1/admin/tenants/reload", "tok-alice", "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt reload: HTTP %d, want 500", resp.StatusCode)
+	}
+	resp, _ = authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-carol", quickJob)
+	if !accepted(resp.StatusCode) {
+		t.Fatalf("failed reload broke the working tenant set: HTTP %d", resp.StatusCode)
+	}
+}
+
+func TestTenantReloadDisabledWithoutFile(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, _ := authedDo(t, http.MethodPost, ts.URL+"/v1/admin/tenants/reload", "", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reload with no tenants file: HTTP %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestQueueFullCarriesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	// Occupy the worker, then fill the 1-deep queue.
+	code, running := postJob(t, ts, longJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("occupying job: HTTP %d", code)
+	}
+	pollUntil(t, ts, running.ID, func(st JobStatus) bool { return st.State == string(StateRunning) }, 10*time.Second)
+	if code, _ := postJob(t, ts, mediumJob); code != http.StatusAccepted {
+		t.Fatalf("queued job: HTTP %d", code)
+	}
+
+	resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs",
+		"", `{"workload":{"cpu":"x264","gpu":"DCT"},"seed":7,"warmup_cycles":200,"measure_cycles":2000}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: HTTP %d: %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full 503 without Retry-After")
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" || e.RetryAfterMS <= 0 {
+		t.Fatalf("503 body %q, want structured error with retry_after_ms", body)
+	}
+	_ = s
+}
+
+// TestFairSchedulingAcrossTenantsEndToEnd drives the tentpole property
+// through the full HTTP stack: with a single worker, one tenant's
+// 8-point batch must not starve another tenant's single job — the
+// single finishes while most of the batch is still waiting.
+func TestFairSchedulingAcrossTenantsEndToEnd(t *testing.T) {
+	tenants := writeTenantsFile(t, testTenants)
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 32, TenantsFile: tenants})
+
+	// 100k cycles keeps each point slow enough (hundreds of ms, seconds
+	// under -race) that bob's 2k-cycle single observably jumps the queue,
+	// without the full drain blowing the race-detector time budget.
+	batchBody := `{"preset":"static-32","warmup_cycles":200,"measure_cycles":100000,"workloads":[
+	 {"cpu":"fluidanimate","gpu":"DCT"},{"cpu":"fmm","gpu":"DCT"},
+	 {"cpu":"radiosity","gpu":"DCT"},{"cpu":"x264","gpu":"DCT"},
+	 {"cpu":"fluidanimate","gpu":"Reduction"},{"cpu":"fmm","gpu":"Reduction"},
+	 {"cpu":"radiosity","gpu":"Reduction"},{"cpu":"x264","gpu":"Reduction"}]}`
+	resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/batches", "tok-alice", batchBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var batch BatchStatus
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+
+	single := `{"workload":{"cpu":"canneal","gpu":"MatrixMultiply"},"warmup_cycles":200,"measure_cycles":2000}`
+	resp, body = authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-bob", single)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("single submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var job JobStatus
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	done := authedPollJob(t, ts.URL, "tok-bob", job.ID, func(st JobStatus) bool {
+		return JobState(st.State).Terminal()
+	}, 60*time.Second)
+	if done.State != string(StateDone) {
+		t.Fatalf("bob's single finished %s: %s", done.State, done.Error)
+	}
+	var bst BatchStatus
+	if code := authedGetJSON(t, ts.URL+"/v1/batches/"+batch.ID, "tok-alice", &bst); code != http.StatusOK {
+		t.Fatalf("batch poll: HTTP %d", code)
+	}
+	// Fair share: bob jumped the 8-point queue — at most the in-flight
+	// point plus one more of alice's points finished first. FIFO would
+	// have completed all 8.
+	if bst.Done > 3 {
+		t.Fatalf("bob's single finished after %d of alice's %d points; fair-share should schedule it ahead of the backlog",
+			bst.Done, bst.Total)
+	}
+	// Per-tenant metrics carry the split.
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Tenants["alice"].JobsSubmitted != 8 || m.Tenants["bob"].JobsSubmitted != 1 {
+		t.Fatalf("per-tenant submissions alice=%d bob=%d, want 8/1",
+			m.Tenants["alice"].JobsSubmitted, m.Tenants["bob"].JobsSubmitted)
+	}
+	if m.TenantsConfigured != 2 {
+		t.Fatalf("tenants_configured = %d, want 2", m.TenantsConfigured)
+	}
+	authedPollBatch(t, ts.URL, "tok-alice", batch.ID, func(b BatchStatus) bool { return b.Done == b.Total }, 180*time.Second)
+}
+
+// TestTenantCacheAttribution: cache hits are counted against the tenant
+// that made the request, even when another tenant simulated the point
+// (results are content-addressed and deliberately shared).
+func TestTenantCacheAttribution(t *testing.T) {
+	tenants := writeTenantsFile(t, testTenants)
+	_, ts := newTestServer(t, Options{Workers: 2, TenantsFile: tenants})
+
+	resp, body := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-alice", quickJob)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice submit: HTTP %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	fin := authedPollJob(t, ts.URL, "tok-alice", st.ID, func(s JobStatus) bool { return JobState(s.State).Terminal() }, 30*time.Second)
+	if fin.State != string(StateDone) {
+		t.Fatalf("alice's job finished %s: %s", fin.State, fin.Error)
+	}
+
+	resp, body = authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", "tok-bob", quickJob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob's identical submit: HTTP %d (want 200 cache hit): %s", resp.StatusCode, body)
+	}
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Tenants["bob"].CacheHits != 1 {
+		t.Fatalf("bob's cache hits = %d, want 1 (hit attributed to the requester)", m.Tenants["bob"].CacheHits)
+	}
+	if m.Tenants["alice"].CacheMisses != 1 || m.Tenants["alice"].JobsCompleted != 1 {
+		t.Fatalf("alice misses=%d completed=%d, want 1/1", m.Tenants["alice"].CacheMisses, m.Tenants["alice"].JobsCompleted)
+	}
+}
+
+// TestBadTenantsFileIsABootError: a daemon must refuse to start
+// half-authenticated.
+func TestBadTenantsFileIsABootError(t *testing.T) {
+	path := writeTenantsFile(t, `{"tenants":[{"name":"a","token":"x"}]}`) // token too short
+	if _, err := New(Options{Workers: 1, TenantsFile: path}); err == nil {
+		t.Fatal("New accepted an invalid tenants file")
+	}
+	if _, err := New(Options{Workers: 1, TenantsFile: filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Fatal("New accepted a missing tenants file")
+	}
+}

@@ -235,7 +235,7 @@ func (b *Batch) cancelSiblings(s *Server, skip *Job) {
 			continue
 		}
 		if signalled, wasPending := sib.Cancel(); signalled && wasPending {
-			s.metrics.jobCancelled()
+			s.metrics.jobCancelled(sib.tenant)
 		}
 	}
 }
@@ -359,7 +359,7 @@ func (s *Server) feedBatch(deferred []*Job) {
 			}
 			if closed {
 				if job.cancelIfPending() {
-					s.metrics.jobCancelled()
+					s.metrics.jobCancelled(job.tenant)
 				}
 				break
 			}
@@ -378,6 +378,10 @@ func (s *Server) feedBatch(deferred []*Job) {
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	tn := s.tenantOf(r)
+	if !s.admitRequest(w, tn) {
 		return
 	}
 	var req BatchRequest
@@ -400,6 +404,12 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch has no runnable points (%d skipped: %s)", len(skipped), skipped[0].Reason)
 		return
 	}
+	// Every expanded point counts against the quota, all or nothing —
+	// a batch the quota cannot hold is refused whole rather than
+	// truncated to an arbitrary prefix of its sweep.
+	if !s.acquireSlots(w, tn, len(specs)) {
+		return
+	}
 
 	b := &Batch{
 		ID:            fmt.Sprintf("batch-%06d", s.nextBatchID.Add(1)),
@@ -410,18 +420,20 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	s.batches.add(b)
 	s.metrics.batchSubmitted()
 
+	token := bearerToken(r)
 	var deferred []*Job
 	allCached := true
 	for _, spec := range specs {
-		s.metrics.jobSubmitted()
+		s.metrics.jobSubmitted(tn.Name())
 		job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
+		stampTenant(job, tn, token)
 		b.addJob(job)
 		job.subscribe(func(j *Job) { b.noteTerminal(s, j) })
 		if b.isCancelled() {
 			// An earlier point already failed and cancel_on_error fired.
 			s.reg.add(job)
 			job.finish(StateCancelled, nil, errors.New("batch cancelled before scheduling"))
-			s.metrics.jobCancelled()
+			s.metrics.jobCancelled(job.tenant)
 			allCached = false
 			continue
 		}

@@ -1,0 +1,164 @@
+package server
+
+import "sync"
+
+// fairQueue is the bounded intake queue behind the worker pool,
+// replacing plain FIFO dispatch with weighted fair-share scheduling:
+// each tenant gets its own FIFO lane and workers pick the next job by
+// stride scheduling across the active lanes. A tenant submitting a
+// thousand-point sweep therefore interleaves with — instead of
+// starving — other tenants' single jobs, while each tenant's own jobs
+// still dequeue in submission order (the per-batch ordering guarantee
+// the batch feeder relies on).
+//
+// Stride scheduling: every lane carries a pass value and advances it
+// by stride = strideUnit/weight per dequeued job; the active lane with
+// the lowest pass goes next. A lane that goes idle and returns is
+// re-based onto the global virtual clock, so idleness banks no credit.
+// With a single active tenant this degenerates to exactly the old FIFO
+// behaviour.
+type fairQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	size     int
+	closed   bool
+	lanes    map[string]*tenantLane
+	clock    uint64 // pass of the most recently scheduled lane
+}
+
+// strideUnit is the pass advance of a weight-1 lane per dequeued job.
+// Weights are clamped to [1, strideUnit], so stride is always >= 1.
+const strideUnit = 1 << 16
+
+// tenantLane is one tenant's FIFO sub-queue plus its scheduling state.
+type tenantLane struct {
+	name   string
+	jobs   []*Job
+	head   int // index of the next job to dequeue
+	pass   uint64
+	stride uint64
+}
+
+func (l *tenantLane) live() int { return len(l.jobs) - l.head }
+
+func newFairQueue(capacity int) *fairQueue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	q := &fairQueue{capacity: capacity, lanes: make(map[string]*tenantLane)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// enqueue offers a job to its tenant's lane without blocking. closed
+// means intake has shut for drain and the job will never be accepted;
+// !queued && !closed is transient queue-full pressure worth retrying.
+func (q *fairQueue) enqueue(j *Job) (queued, closed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, true
+	}
+	if q.size >= q.capacity {
+		return false, false
+	}
+	lane, ok := q.lanes[j.tenant]
+	if !ok {
+		lane = &tenantLane{name: j.tenant}
+		q.lanes[j.tenant] = lane
+	}
+	lane.stride = strideFor(j.weight)
+	if lane.live() == 0 {
+		// Going active: rebase onto the clock so time spent idle earns
+		// no scheduling credit over tenants that kept the queue busy.
+		if lane.pass < q.clock {
+			lane.pass = q.clock
+		}
+	}
+	lane.jobs = append(lane.jobs, j)
+	q.size++
+	q.cond.Signal()
+	return true, false
+}
+
+func strideFor(weight int) uint64 {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > strideUnit {
+		weight = strideUnit
+	}
+	return strideUnit / uint64(weight)
+}
+
+// dequeue blocks until a job is available or the queue is closed and
+// empty (ok false: the worker should exit). After close it keeps
+// handing out the remaining jobs so drain semantics match the old
+// closed-channel behaviour.
+func (q *fairQueue) dequeue() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	lane := q.next()
+	j := lane.jobs[lane.head]
+	lane.jobs[lane.head] = nil // release the reference for GC
+	lane.head++
+	if lane.live() == 0 {
+		lane.jobs, lane.head = lane.jobs[:0], 0
+	}
+	q.size--
+	q.clock = lane.pass
+	lane.pass += lane.stride
+	return j, true
+}
+
+// next picks the active lane with the lowest pass, tie-broken by name
+// so scheduling order is deterministic for a given enqueue history.
+// Linear scan: the lane count is the tenant count, which is small.
+func (q *fairQueue) next() *tenantLane {
+	var best *tenantLane
+	for _, lane := range q.lanes {
+		if lane.live() == 0 {
+			continue
+		}
+		if best == nil || lane.pass < best.pass ||
+			(lane.pass == best.pass && lane.name < best.name) {
+			best = lane
+		}
+	}
+	return best
+}
+
+// close stops intake and wakes every blocked worker. Idempotent.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// depth reports the total queued-but-unclaimed jobs.
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// depths reports per-tenant queue depths for metrics attribution.
+func (q *fairQueue) depths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.lanes))
+	for name, lane := range q.lanes {
+		if n := lane.live(); n > 0 {
+			out[name] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// laneJob builds the minimal Job the fair queue schedules on: identity,
+// tenant lane and weight.
+func laneJob(id, tenant string, weight int) *Job {
+	return &Job{ID: id, tenant: tenant, weight: weight}
+}
+
+func TestFairQueueSingleTenantIsFIFO(t *testing.T) {
+	q := newFairQueue(16)
+	for i := 0; i < 10; i++ {
+		if queued, _ := q.enqueue(laneJob(fmt.Sprintf("job-%03d", i), "a", 1)); !queued {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		j, ok := q.dequeue()
+		if !ok || j.ID != fmt.Sprintf("job-%03d", i) {
+			t.Fatalf("pop %d = (%v, %v), want job-%03d (single tenant must be FIFO)", i, j, ok, i)
+		}
+	}
+}
+
+// TestFairQueueStarvationRegression is the regression the fair queue
+// exists for: under the old plain-FIFO dispatch a single job submitted
+// behind a 100-point sweep waited out all 100 points. Fair-share must
+// schedule it within a couple of pops.
+func TestFairQueueStarvationRegression(t *testing.T) {
+	q := newFairQueue(256)
+	for i := 0; i < 100; i++ {
+		q.enqueue(laneJob(fmt.Sprintf("sweep-%03d", i), "alice", 1))
+	}
+	// The sweep is mid-drain when bob shows up.
+	for i := 0; i < 10; i++ {
+		q.dequeue()
+	}
+	q.enqueue(laneJob("single", "bob", 1))
+
+	pos := -1
+	for i := 0; i < 91; i++ {
+		j, ok := q.dequeue()
+		if !ok {
+			t.Fatal("queue closed unexpectedly")
+		}
+		if j.ID == "single" {
+			pos = i
+			break
+		}
+	}
+	// FIFO would put bob at position 90. Fair-share schedules the newly
+	// active lane at the global virtual clock, i.e. immediately.
+	if pos < 0 || pos > 1 {
+		t.Fatalf("bob's single job dequeued at position %d behind alice's sweep; fair-share should schedule it within 2 pops (FIFO places it at 90)", pos)
+	}
+	// Alice's own jobs still come out in submission order afterwards.
+	j, _ := q.dequeue()
+	if j.tenant != "alice" || j.ID >= "sweep-012" {
+		t.Fatalf("after bob, expected alice's sweep to resume in order, got %s", j.ID)
+	}
+}
+
+// TestFairQueueWeights: a weight-2 tenant drains twice as fast as a
+// weight-1 tenant under contention. The schedule is deterministic
+// (stride scheduling with name tie-breaks), so the exact ratio is
+// checkable.
+func TestFairQueueWeights(t *testing.T) {
+	q := newFairQueue(128)
+	for i := 0; i < 40; i++ {
+		q.enqueue(laneJob(fmt.Sprintf("a-%03d", i), "alice", 2))
+		q.enqueue(laneJob(fmt.Sprintf("b-%03d", i), "bob", 1))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 30; i++ {
+		j, _ := q.dequeue()
+		counts[j.tenant]++
+	}
+	if counts["alice"] != 20 || counts["bob"] != 10 {
+		t.Fatalf("first 30 pops split alice=%d bob=%d, want 20/10 for weights 2:1",
+			counts["alice"], counts["bob"])
+	}
+}
+
+// TestFairQueueIdleLaneBanksNoCredit: a tenant that sat idle while
+// another drained the queue must not burst ahead on return; it resumes
+// interleaved from the current virtual clock.
+func TestFairQueueIdleLaneBanksNoCredit(t *testing.T) {
+	q := newFairQueue(128)
+	q.enqueue(laneJob("b-000", "bob", 1))
+	j, _ := q.dequeue() // bob's pass advances; bob goes idle
+	if j.tenant != "bob" {
+		t.Fatalf("warmup pop = %s", j.tenant)
+	}
+	for i := 0; i < 50; i++ {
+		q.enqueue(laneJob(fmt.Sprintf("a-%03d", i), "alice", 1))
+	}
+	for i := 0; i < 20; i++ {
+		q.dequeue() // alice's pass races far ahead of bob's stale pass
+	}
+	for i := 1; i <= 10; i++ {
+		q.enqueue(laneJob(fmt.Sprintf("b-%03d", i), "bob", 1))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		j, _ := q.dequeue()
+		counts[j.tenant]++
+	}
+	// Rebasing onto the clock means bob interleaves ~1:1 from here —
+	// without it, bob's stale low pass would win all 10.
+	if counts["bob"] > 6 {
+		t.Fatalf("returning idle tenant took %d of 10 pops; idleness banked scheduling credit", counts["bob"])
+	}
+	if counts["bob"] < 4 {
+		t.Fatalf("returning idle tenant got only %d of 10 pops; rebase overshot", counts["bob"])
+	}
+}
+
+func TestFairQueueCapacityAndClose(t *testing.T) {
+	q := newFairQueue(4)
+	for i := 0; i < 4; i++ {
+		if queued, closed := q.enqueue(laneJob(fmt.Sprintf("j%d", i), "a", 1)); !queued || closed {
+			t.Fatalf("enqueue %d = (%v, %v)", i, queued, closed)
+		}
+	}
+	if queued, closed := q.enqueue(laneJob("j4", "b", 1)); queued || closed {
+		t.Fatalf("over-capacity enqueue = (%v, %v), want (false, false): transient pressure, not drain", queued, closed)
+	}
+	if q.depth() != 4 {
+		t.Fatalf("depth = %d, want 4", q.depth())
+	}
+	q.close()
+	if queued, closed := q.enqueue(laneJob("j5", "a", 1)); queued || !closed {
+		t.Fatalf("post-close enqueue = (%v, %v), want (false, true)", queued, closed)
+	}
+	// Close drains: the four queued jobs still come out, then ok=false.
+	for i := 0; i < 4; i++ {
+		if _, ok := q.dequeue(); !ok {
+			t.Fatalf("post-close drain stopped at %d of 4", i)
+		}
+	}
+	if j, ok := q.dequeue(); ok {
+		t.Fatalf("empty closed queue handed out %v", j)
+	}
+}
+
+func TestFairQueueDepths(t *testing.T) {
+	q := newFairQueue(16)
+	q.enqueue(laneJob("a1", "alice", 1))
+	q.enqueue(laneJob("a2", "alice", 1))
+	q.enqueue(laneJob("b1", "bob", 1))
+	d := q.depths()
+	if d["alice"] != 2 || d["bob"] != 1 || len(d) != 2 {
+		t.Fatalf("depths = %v, want alice:2 bob:1", d)
+	}
+	q.dequeue()
+	q.dequeue()
+	q.dequeue()
+	if d := q.depths(); len(d) != 0 {
+		t.Fatalf("drained queue depths = %v, want empty", d)
+	}
+}
+
+// TestFairQueueConcurrentFairnessStress is the multi-tenant contention
+// stress: one tenant floods a 1000-point sweep through a small queue
+// while two others trickle singles in concurrently. Run under -race in
+// CI. Invariants: every enqueued job is dequeued exactly once, and a
+// single's queue wait — measured in pops between its enqueue and its
+// dequeue — stays bounded instead of scaling with the flood.
+func TestFairQueueConcurrentFairnessStress(t *testing.T) {
+	const (
+		floodJobs = 1000
+		singles   = 25
+		capacity  = 64
+		waitBound = 32 // pops; FIFO would make this ~capacity + flood backlog
+		totalJobs = floodJobs + 2*singles
+		spinPause = 100 * time.Microsecond
+	)
+	q := newFairQueue(capacity)
+
+	var pops atomic.Int64            // dequeue counter, the virtual time base
+	popped := make(map[string]int64) // job ID -> pop index (consumer-only)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < totalJobs; i++ {
+			j, ok := q.dequeue()
+			if !ok {
+				return
+			}
+			if _, dup := popped[j.ID]; dup {
+				popped[j.ID] = -1 // flag duplicate
+				return
+			}
+			popped[j.ID] = pops.Add(1)
+		}
+	}()
+
+	enqueueRetry := func(j *Job) int64 {
+		for {
+			if queued, closed := q.enqueue(j); queued {
+				return pops.Load()
+			} else if closed {
+				panic("queue closed during stress")
+			}
+			time.Sleep(spinPause)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // the flood: tenant alice's 1000-point sweep
+		defer wg.Done()
+		for i := 0; i < floodJobs; i++ {
+			enqueueRetry(laneJob(fmt.Sprintf("alice-%04d", i), "alice", 1))
+		}
+	}()
+	enqueuedAt := make([][]int64, 2)
+	for s, name := range []string{"bob", "carol"} {
+		s, name := s, name
+		go func() { // interactive tenants: spaced singles
+			defer wg.Done()
+			at := make([]int64, singles)
+			for i := 0; i < singles; i++ {
+				at[i] = enqueueRetry(laneJob(fmt.Sprintf("%s-%04d", name, i), name, 1))
+				time.Sleep(2 * spinPause)
+			}
+			enqueuedAt[s] = at
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer did not drain all jobs (lost job or deadlock)")
+	}
+
+	if len(popped) != totalJobs {
+		t.Fatalf("dequeued %d distinct jobs, want %d (jobs lost)", len(popped), totalJobs)
+	}
+	var worst int64
+	for s, name := range []string{"bob", "carol"} {
+		for i := 0; i < singles; i++ {
+			id := fmt.Sprintf("%s-%04d", name, i)
+			at, ok := popped[id]
+			if !ok || at < 0 {
+				t.Fatalf("job %s lost or double-dequeued", id)
+			}
+			if wait := at - enqueuedAt[s][i]; wait > worst {
+				worst = wait
+			}
+		}
+	}
+	if worst > waitBound {
+		t.Fatalf("worst single-job queue wait was %d pops while alice flooded %d jobs; fair-share should bound it near %d",
+			worst, floodJobs, waitBound)
+	}
+	t.Logf("worst interactive wait: %d pops across %d singles vs a %d-job flood", worst, 2*singles, floodJobs)
+}

@@ -55,7 +55,7 @@ const (
 // caller owns getting leader jobs into the queue (see batch feeding).
 func (s *Server) admit(job *Job, enqueue bool) admission {
 	if result, disk, ok := s.lookup(job.key); ok {
-		s.metrics.cacheHit(disk)
+		s.metrics.cacheHit(job.tenant, disk)
 		job.finishCached(result)
 		s.reg.add(job)
 		return admitCached
@@ -72,9 +72,9 @@ func (s *Server) admit(job *Job, enqueue bool) admission {
 		// cancel-on-error cancelling sibling leaders) re-enters the
 		// flight table.
 		s.flight.mu.Unlock()
-		s.metrics.cacheMissed()
+		s.metrics.cacheMissed(job.tenant)
 		job.markFollower()
-		s.metrics.jobCoalesced()
+		s.metrics.jobCoalesced(job.tenant)
 		leader.subscribe(func(l *Job) { s.settleFollower(job, l) })
 		return admitCoalesced
 	}
@@ -86,13 +86,13 @@ func (s *Server) admit(job *Job, enqueue bool) admission {
 	// from memory while the disk layer still holds it.
 	if result, disk, ok := s.lookup(job.key); ok {
 		s.flight.mu.Unlock()
-		s.metrics.cacheHit(disk)
+		s.metrics.cacheHit(job.tenant, disk)
 		job.finishCached(result)
 		return admitCached
 	}
 	// Only now is the submission definitively a miss; counting it any
 	// earlier double-books recheck hits as both a miss and a hit.
-	s.metrics.cacheMissed()
+	s.metrics.cacheMissed(job.tenant)
 	s.flight.inflight[job.key] = job
 	s.flight.mu.Unlock()
 	job.subscribe(func(*Job) { s.flight.remove(job.key, job) })
@@ -101,7 +101,7 @@ func (s *Server) admit(job *Job, enqueue bool) admission {
 		return admitDeferred
 	}
 	if !s.reg.enqueue(job) {
-		s.metrics.jobRejected()
+		s.metrics.jobRejected(job.tenant)
 		job.finish(StateFailed, nil, fmt.Errorf("queue full (%d jobs)", s.opts.QueueDepth))
 		return admitRejected
 	}

@@ -36,10 +36,29 @@ type metrics struct {
 	shardReplErrs   uint64
 	cacheExportsCnt uint64
 	cacheImportsCnt uint64
+	throttled       uint64
 	busy            int
 	workers         int
 	latency         *stats.Histogram // seconds per completed job
 	upSince         time.Time
+	// tenants attributes traffic to the authenticated principal that
+	// caused it; keys are tenant names, created on first touch.
+	tenants map[string]*tenantCounters
+}
+
+// tenantCounters is one tenant's share of the global counters, plus
+// the tenant-only ones (throttled 429s, simulated cycles consumed).
+type tenantCounters struct {
+	submitted uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+	rejected  uint64
+	throttled uint64
+	coalesced uint64
+	cacheHits uint64
+	cacheMiss uint64
+	cycles    uint64
 }
 
 func newMetrics(workers int) *metrics {
@@ -47,17 +66,74 @@ func newMetrics(workers int) *metrics {
 		workers: workers,
 		latency: stats.NewHistogram(1 << 16),
 		upSince: time.Now(),
+		tenants: make(map[string]*tenantCounters),
 	}
 }
 
-func (m *metrics) jobSubmitted()   { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
-func (m *metrics) jobRejected()    { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *metrics) jobCancelled()   { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
-func (m *metrics) jobFailed()      { m.mu.Lock(); m.failed++; m.mu.Unlock() }
-func (m *metrics) jobCoalesced()   { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+// forTenant returns the tenant's counter block; callers hold m.mu.
+func (m *metrics) forTenant(name string) *tenantCounters {
+	tc, ok := m.tenants[name]
+	if !ok {
+		tc = &tenantCounters{}
+		m.tenants[name] = tc
+	}
+	return tc
+}
+
+func (m *metrics) jobSubmitted(tn string) {
+	m.mu.Lock()
+	m.submitted++
+	m.forTenant(tn).submitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobRejected(tn string) {
+	m.mu.Lock()
+	m.rejected++
+	m.forTenant(tn).rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobCancelled(tn string) {
+	m.mu.Lock()
+	m.cancelled++
+	m.forTenant(tn).cancelled++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobFailed(tn string) {
+	m.mu.Lock()
+	m.failed++
+	m.forTenant(tn).failed++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobCoalesced(tn string) {
+	m.mu.Lock()
+	m.coalesced++
+	m.forTenant(tn).coalesced++
+	m.mu.Unlock()
+}
+
+// tenantThrottled counts a 429 — a submission turned away at admission
+// by the tenant's rate limit or in-flight quota.
+func (m *metrics) tenantThrottled(tn string) {
+	m.mu.Lock()
+	m.throttled++
+	m.forTenant(tn).throttled++
+	m.mu.Unlock()
+}
+
 func (m *metrics) batchSubmitted() { m.mu.Lock(); m.batches++; m.mu.Unlock() }
 func (m *metrics) modelUploaded()  { m.mu.Lock(); m.uploads++; m.mu.Unlock() }
-func (m *metrics) cacheMissed()    { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
+
+func (m *metrics) cacheMissed(tn string) {
+	m.mu.Lock()
+	m.cacheMiss++
+	m.forTenant(tn).cacheMiss++
+	m.mu.Unlock()
+}
+
 func (m *metrics) diskCacheError() { m.mu.Lock(); m.diskErrs++; m.mu.Unlock() }
 
 // Shard counters. shardDispatched marks a point handed to a peer;
@@ -73,9 +149,10 @@ func (m *metrics) cacheImported()        { m.mu.Lock(); m.cacheImportsCnt++; m.m
 
 // cacheHit records a result served without simulating; disk marks hits
 // the memory LRU missed but the persistent store satisfied.
-func (m *metrics) cacheHit(disk bool) {
+func (m *metrics) cacheHit(tn string, disk bool) {
 	m.mu.Lock()
 	m.cacheHits++
+	m.forTenant(tn).cacheHits++
 	if disk {
 		m.diskHits++
 	}
@@ -103,9 +180,15 @@ func (m *metrics) workerIdle() {
 	m.mu.Unlock()
 }
 
-func (m *metrics) jobCompleted(elapsed time.Duration) {
+// jobCompleted records a successful local simulation: latency for the
+// histogram plus the simulated cycles (warmup + measure) charged to
+// the owning tenant.
+func (m *metrics) jobCompleted(tn string, elapsed time.Duration, cycles uint64) {
 	m.mu.Lock()
 	m.completed++
+	tc := m.forTenant(tn)
+	tc.completed++
+	tc.cycles += cycles
 	m.latency.Add(elapsed.Seconds())
 	m.mu.Unlock()
 }
@@ -155,6 +238,33 @@ type MetricsSnapshot struct {
 	JobLatencyMeanS float64 `json:"job_latency_mean_s"`
 	JobLatencyP50S  float64 `json:"job_latency_p50_s"`
 	JobLatencyP99S  float64 `json:"job_latency_p99_s"`
+	// Multi-tenant attribution: configured tenant count, lifetime 429s,
+	// and the per-tenant breakdown keyed by tenant name.
+	TenantsConfigured int                       `json:"tenants_configured"`
+	JobsThrottled     uint64                    `json:"jobs_throttled"`
+	Tenants           map[string]TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// TenantSnapshot is one tenant's slice of the metrics payload.
+type TenantSnapshot struct {
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+	// JobsThrottled counts 429s (rate limit or in-flight quota).
+	JobsThrottled uint64 `json:"jobs_throttled"`
+	JobsCoalesced uint64 `json:"jobs_coalesced"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	// CyclesSimulated is warmup+measure cycles of locally executed
+	// completions — the tenant's simulated-work bill.
+	CyclesSimulated uint64 `json:"cycles_simulated"`
+	// QueueDepth and InFlight are live gauges: jobs waiting in the
+	// tenant's scheduling lane, and admitted-but-not-terminal jobs
+	// counted against the quota.
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
 }
 
 // diskSnapshot carries the disk store's live footprint into snapshot.
@@ -163,8 +273,16 @@ type diskSnapshot struct {
 	bytes   int64
 }
 
+// tenantGauges carries the live per-tenant gauges (scheduler lane
+// depths, quota in-flight counts) into snapshot alongside the counters.
+type tenantGauges struct {
+	configured int
+	depths     map[string]int
+	inflight   map[string]int
+}
+
 // snapshot captures a consistent view for the metrics endpoint.
-func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int, disk diskSnapshot, shardPeers int) MetricsSnapshot {
+func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int, disk diskSnapshot, shardPeers int, tg tenantGauges) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	q := m.latency.Percentiles(50, 99)
@@ -205,12 +323,48 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int,
 		JobLatencyMeanS: m.latency.Mean(),
 		JobLatencyP50S:  q[0],
 		JobLatencyP99S:  q[1],
+
+		TenantsConfigured: tg.configured,
+		JobsThrottled:     m.throttled,
 	}
 	if m.workers > 0 {
 		s.WorkerUtilization = float64(m.busy) / float64(m.workers)
 	}
 	if lookups := m.cacheHits + m.cacheMiss; lookups > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)
+	}
+	// Union of every tenant seen by the counters and the live gauges.
+	names := make(map[string]bool, len(m.tenants))
+	for n := range m.tenants {
+		names[n] = true
+	}
+	for n := range tg.depths {
+		names[n] = true
+	}
+	for n := range tg.inflight {
+		names[n] = true
+	}
+	if len(names) > 0 {
+		s.Tenants = make(map[string]TenantSnapshot, len(names))
+		for n := range names {
+			ts := TenantSnapshot{
+				QueueDepth: tg.depths[n],
+				InFlight:   tg.inflight[n],
+			}
+			if tc, ok := m.tenants[n]; ok {
+				ts.JobsSubmitted = tc.submitted
+				ts.JobsCompleted = tc.completed
+				ts.JobsFailed = tc.failed
+				ts.JobsCancelled = tc.cancelled
+				ts.JobsRejected = tc.rejected
+				ts.JobsThrottled = tc.throttled
+				ts.JobsCoalesced = tc.coalesced
+				ts.CacheHits = tc.cacheHits
+				ts.CacheMisses = tc.cacheMiss
+				ts.CyclesSimulated = tc.cycles
+			}
+			s.Tenants[n] = ts
+		}
 	}
 	return s
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/tenant"
 )
 
 // JobState is a job's lifecycle stage.
@@ -32,6 +34,14 @@ type Job struct {
 	spec jobSpec
 	key  string
 
+	// Tenant identity, fixed at submission: the owning tenant's name
+	// (scheduling lane and metrics attribution), the bearer token it
+	// presented (forwarded on shard dispatch), and its fair-share
+	// weight captured at admission time.
+	tenant string
+	token  string
+	weight int
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -55,11 +65,22 @@ func newJob(id string, spec jobSpec, parent context.Context) *Job {
 		ID:        id,
 		spec:      spec,
 		key:       spec.cacheKey(),
+		tenant:    tenant.AnonymousName,
+		weight:    1,
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StatePending,
 		submitted: time.Now(),
 	}
+}
+
+// setTenant stamps the owning tenant onto a freshly built job. Called
+// before the job is shared with any other goroutine, so the fields
+// need no lock afterwards.
+func (j *Job) setTenant(name, token string, weight int) {
+	j.tenant = name
+	j.token = token
+	j.weight = weight
 }
 
 // subscribe registers fn to run exactly once when the job reaches a
@@ -239,6 +260,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:          j.ID,
 		State:       string(j.state),
+		Tenant:      j.tenant,
 		Backend:     j.spec.backend,
 		Config:      j.spec.cfg.Name(),
 		Pair:        j.spec.pair.Name(),
@@ -263,22 +285,19 @@ func (j *Job) Status() JobStatus {
 }
 
 // registry is the id -> job table plus the bounded intake queue.
-// Enqueue order is FIFO; the channel's capacity is the queue bound.
-// closed gates enqueue against the drain-time channel close.
+// Dispatch order is weighted fair-share across tenants (see
+// fairQueue); within a tenant it is FIFO. The queue's capacity is the
+// global bound shared by all tenants.
 type registry struct {
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	queue  chan *Job
-	closed bool
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	queue *fairQueue
 }
 
 func newRegistry(depth int) *registry {
-	if depth <= 0 {
-		depth = 64
-	}
 	return &registry{
 		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, depth),
+		queue: newFairQueue(depth),
 	}
 }
 
@@ -309,47 +328,39 @@ func (r *registry) enqueue(j *Job) bool {
 // !queued && !closed is transient queue-full pressure a batch feeder
 // may retry.
 func (r *registry) tryEnqueue(j *Job) (queued, closed bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return false, true
-	}
-	select {
-	case r.queue <- j:
-		return true, false
-	default:
-		return false, false
-	}
+	return r.queue.enqueue(j)
+}
+
+// dequeue blocks for the fair-share scheduler's next job; ok false
+// means the queue is closed and drained, so the worker should exit.
+func (r *registry) dequeue() (*Job, bool) {
+	return r.queue.dequeue()
 }
 
 // close stops intake; subsequent enqueues fail and workers exit once
-// the channel drains. Idempotent.
+// the queue drains. Idempotent.
 func (r *registry) close() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.closed {
-		r.closed = true
-		close(r.queue)
-	}
+	r.queue.close()
 }
 
 // cancelPending cancels every job still waiting in the queue and
-// returns how many were flipped to cancelled.
-func (r *registry) cancelPending() int {
+// returns the jobs that were flipped to cancelled (so the caller can
+// attribute the cancellations per tenant).
+func (r *registry) cancelPending() []*Job {
 	r.mu.Lock()
 	pending := make([]*Job, 0, len(r.jobs))
 	for _, j := range r.jobs {
 		pending = append(pending, j)
 	}
 	r.mu.Unlock()
-	n := 0
+	var flipped []*Job
 	for _, j := range pending {
 		if j.cancelIfPending() {
-			n++
+			flipped = append(flipped, j)
 		}
 	}
-	return n
+	return flipped
 }
 
 // depth reports queued-but-unclaimed jobs.
-func (r *registry) depth() int { return len(r.queue) }
+func (r *registry) depth() int { return r.queue.depth() }

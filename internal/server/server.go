@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/models"
+	"repro/internal/tenant"
 )
 
 // Options sizes the daemon.
@@ -54,6 +56,16 @@ type Options struct {
 	ShardRetryBase time.Duration
 	// ShardPollInterval paces remote job status polls (default 100ms).
 	ShardPollInterval time.Duration
+	// TenantsFile, when non-empty, enables the multi-tenant front door:
+	// a JSON file of API tokens, fair-share weights, rate limits and
+	// quotas (see internal/tenant). Every /v1 request then needs a
+	// configured bearer token. Empty keeps the daemon open, with all
+	// work attributed to the anonymous tenant.
+	TenantsFile string
+	// ShardToken is the service token peer calls fall back to when the
+	// dispatching job has no tenant token of its own (anonymous local
+	// traffic into a tokenized peer cluster).
+	ShardToken string
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +107,7 @@ type Server struct {
 	batches *batchRegistry
 	models  *models.Registry
 	shard   *shardPool // nil without Options.Peers
+	tenants *tenant.Registry
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -144,6 +157,12 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.models = reg
+	tenants, err := tenant.Open(opts.TenantsFile)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.tenants = tenants
 	shard, err := newShardPool(opts)
 	if err != nil {
 		cancel()
@@ -162,6 +181,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	s.mux.HandleFunc("POST /v1/cache", s.handleCachePut)
+	s.mux.HandleFunc("POST /v1/admin/tenants/reload", s.handleTenantReload)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	for w := 0; w < opts.Workers; w++ {
@@ -205,7 +225,17 @@ func (s *Server) store(key string, result *JobResult) {
 }
 
 // ServeHTTP makes the server mountable anywhere an http.Handler fits.
+// The /v1 surface sits behind the tenant auth gate (a no-op until a
+// tenants file is configured); /metrics and /healthz stay open for
+// scrapers and probes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		tn := s.authenticate(w, r)
+		if tn == nil {
+			return
+		}
+		r = withTenant(r, tn)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -216,8 +246,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
-		for i, n := 0, s.reg.cancelPending(); i < n; i++ {
-			s.metrics.jobCancelled()
+		for _, j := range s.reg.cancelPending() {
+			s.metrics.jobCancelled(j.tenant)
 		}
 		s.reg.close()
 	})
@@ -241,9 +271,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // maxRequestBytes bounds a job submission body.
 const maxRequestBytes = 1 << 20
 
+// queueFullRetryAfter is the Retry-After hint on queue-full 503s: the
+// queue drains as fast as the worker pool simulates, so a short
+// client-side pause is the right first retry.
+const queueFullRetryAfter = time.Second
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	tn := s.tenantOf(r)
+	if !s.admitRequest(w, tn) {
 		return
 	}
 	var req JobRequest
@@ -258,13 +297,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid job: %v", err)
 		return
 	}
-	s.metrics.jobSubmitted()
+	if !s.acquireSlots(w, tn, 1) {
+		return
+	}
+	s.metrics.jobSubmitted(tn.Name())
 	job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
+	stampTenant(job, tn, bearerToken(r))
 	switch s.admit(job, true) {
 	case admitCached:
 		writeJSON(w, http.StatusOK, job.Status())
 	case admitRejected:
-		httpError(w, http.StatusServiceUnavailable, "queue full, retry later")
+		httpRetryError(w, http.StatusServiceUnavailable, queueFullRetryAfter,
+			"queue full (%d jobs), retry later", s.opts.QueueDepth)
 	default: // queued or coalesced onto in-flight work
 		writeJSON(w, http.StatusAccepted, job.Status())
 	}
@@ -305,7 +349,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wasPending {
-		s.metrics.jobCancelled()
+		s.metrics.jobCancelled(job.tenant)
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
@@ -319,8 +363,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.shard != nil {
 		peers = len(s.shard.peers)
 	}
+	tg := tenantGauges{
+		configured: s.tenants.Len(),
+		depths:     s.reg.queue.depths(),
+		inflight:   s.tenants.InFlight(),
+	}
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len(), s.models.Len(), disk, peers))
+		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len(), s.models.Len(), disk, peers, tg))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -339,6 +388,14 @@ func writeJSON(w http.ResponseWriter, code int, payload any) {
 	_ = enc.Encode(payload)
 }
 
+// apiError is the structured error body every non-2xx response
+// carries; retry_after_ms accompanies 429/503 throttling responses
+// alongside the Retry-After header.
+type apiError struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }

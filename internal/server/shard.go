@@ -46,6 +46,21 @@ type shardPool struct {
 	retries      int
 	retryBase    time.Duration
 	pollInterval time.Duration
+	// serviceToken authenticates peer calls that have no submitting
+	// tenant's token to forward (anonymous local traffic, background
+	// replication) against tokenized peers.
+	serviceToken string
+}
+
+// tokenFor picks the credential a peer call rides on: the submitting
+// tenant's own token when it presented one, else the cluster's shard
+// service token — so a tokenized cluster never 401s its own
+// coordinator, and per-tenant attribution carries across shards.
+func (p *shardPool) tokenFor(job *Job) string {
+	if job.token != "" {
+		return job.token
+	}
+	return p.serviceToken
 }
 
 // peerClient is one sibling daemon: its base URL and a shared HTTP
@@ -53,6 +68,14 @@ type shardPool struct {
 type peerClient struct {
 	base   string
 	client *http.Client
+}
+
+// authorize attaches the bearer token (when any) to an outbound peer
+// request.
+func authorize(req *http.Request, tok string) {
+	if tok != "" {
+		req.Header.Set("Authorization", "Bearer "+tok)
+	}
 }
 
 // newShardPool validates Options.Peers into a pool, or nil when no
@@ -66,6 +89,7 @@ func newShardPool(opts Options) (*shardPool, error) {
 		retries:      opts.ShardRetries,
 		retryBase:    opts.ShardRetryBase,
 		pollInterval: opts.ShardPollInterval,
+		serviceToken: opts.ShardToken,
 	}
 	seen := make(map[string]bool)
 	for _, raw := range opts.Peers {
@@ -155,11 +179,12 @@ func (s jobSpec) wireRequest() (JobRequest, error) {
 // decodeCacheEntry — exactly the validation `-warm-cache` applies — and
 // must be keyed as requested, so a corrupt or mis-keyed peer response
 // can never enter the local cache.
-func (pc *peerClient) fetchEntry(ctx context.Context, key string) (*JobResult, error) {
+func (pc *peerClient) fetchEntry(ctx context.Context, key, tok string) (*JobResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, pc.base+"/v1/cache/"+key, nil)
 	if err != nil {
 		return nil, err
 	}
+	authorize(req, tok)
 	resp, err := pc.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errPeerUnavailable, err)
@@ -186,7 +211,7 @@ func (pc *peerClient) fetchEntry(ctx context.Context, key string) (*JobResult, e
 }
 
 // pushEntry publishes a completed entry to the peer via POST /v1/cache.
-func (pc *peerClient) pushEntry(ctx context.Context, key string, result *JobResult) error {
+func (pc *peerClient) pushEntry(ctx context.Context, key string, result *JobResult, tok string) error {
 	data, err := encodeCacheEntry(CacheEntry{Key: key, Result: result})
 	if err != nil {
 		return err
@@ -196,6 +221,7 @@ func (pc *peerClient) pushEntry(ctx context.Context, key string, result *JobResu
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	authorize(req, tok)
 	resp, err := pc.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("%w: %v", errPeerUnavailable, err)
@@ -209,11 +235,12 @@ func (pc *peerClient) pushEntry(ctx context.Context, key string, result *JobResu
 }
 
 // submitJob posts the request to the peer and returns the accepted
-// job's status. 503 (draining or queue-full) maps to errPeerUnavailable
-// so the dispatcher retries and then degrades to local execution; a 400
+// job's status. 503 (draining or queue-full) and 429 (the forwarded
+// tenant throttled on the peer) map to errPeerUnavailable so the
+// dispatcher retries and then degrades to local execution; a 400
 // whose cause is an unresolvable model maps to errModelMissing so the
 // dispatcher can upload the artifact and retry.
-func (pc *peerClient) submitJob(ctx context.Context, wire JobRequest) (JobStatus, error) {
+func (pc *peerClient) submitJob(ctx context.Context, wire JobRequest, tok string) (JobStatus, error) {
 	body, err := json.Marshal(wire)
 	if err != nil {
 		return JobStatus{}, err
@@ -223,6 +250,7 @@ func (pc *peerClient) submitJob(ctx context.Context, wire JobRequest) (JobStatus
 		return JobStatus{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	authorize(req, tok)
 	resp, err := pc.client.Do(req)
 	if err != nil {
 		return JobStatus{}, fmt.Errorf("%w: %v", errPeerUnavailable, err)
@@ -235,7 +263,7 @@ func (pc *peerClient) submitJob(ctx context.Context, wire JobRequest) (JobStatus
 			return JobStatus{}, fmt.Errorf("%w: decoding submit response: %v", errPeerUnavailable, err)
 		}
 		return st, nil
-	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable:
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
 		return JobStatus{}, fmt.Errorf("%w: submit HTTP %d", errPeerUnavailable, resp.StatusCode)
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
@@ -249,11 +277,12 @@ func (pc *peerClient) submitJob(ctx context.Context, wire JobRequest) (JobStatus
 }
 
 // jobStatus polls one remote job.
-func (pc *peerClient) jobStatus(ctx context.Context, id string) (JobStatus, error) {
+func (pc *peerClient) jobStatus(ctx context.Context, id, tok string) (JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, pc.base+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	authorize(req, tok)
 	resp, err := pc.client.Do(req)
 	if err != nil {
 		return JobStatus{}, fmt.Errorf("%w: %v", errPeerUnavailable, err)
@@ -271,11 +300,12 @@ func (pc *peerClient) jobStatus(ctx context.Context, id string) (JobStatus, erro
 
 // cancelJob best-effort cancels an orphaned remote job (the local point
 // was cancelled while the peer was still simulating it).
-func (pc *peerClient) cancelJob(ctx context.Context, id string) {
+func (pc *peerClient) cancelJob(ctx context.Context, id, tok string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, pc.base+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return
 	}
+	authorize(req, tok)
 	if resp, err := pc.client.Do(req); err == nil {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -284,7 +314,7 @@ func (pc *peerClient) cancelJob(ctx context.Context, id string) {
 
 // uploadModel ships the artifact to the peer under its content hash, so
 // a hash-pinned ML job resolves there exactly as it did locally.
-func (pc *peerClient) uploadModel(ctx context.Context, art *models.Artifact) error {
+func (pc *peerClient) uploadModel(ctx context.Context, art *models.Artifact, tok string) error {
 	var buf bytes.Buffer
 	if err := art.Save(&buf); err != nil {
 		return err
@@ -295,6 +325,7 @@ func (pc *peerClient) uploadModel(ctx context.Context, art *models.Artifact) err
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	authorize(req, tok)
 	resp, err := pc.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("%w: %v", errPeerUnavailable, err)
@@ -369,10 +400,11 @@ func (s *Server) runRemote(job *Job, peer *peerClient) error {
 	budget := job.spec.timeout + peer.client.Timeout
 	ctx, cancel := context.WithTimeout(job.ctx, budget)
 	defer cancel()
+	tok := s.shard.tokenFor(job)
 
 	// The peer may already hold the entry (an earlier batch, another
 	// shard's replication): one GET beats a whole submit/poll cycle.
-	if result, err := peer.fetchEntry(ctx, job.key); err == nil && result != nil {
+	if result, err := peer.fetchEntry(ctx, job.key, tok); err == nil && result != nil {
 		s.importRemote(job, result)
 		return nil
 	}
@@ -385,7 +417,7 @@ func (s *Server) runRemote(job *Job, peer *peerClient) error {
 	backoff := s.shard.retryBase
 	uploaded := false
 	for attempt := 0; ; {
-		st, err = peer.submitJob(ctx, wire)
+		st, err = peer.submitJob(ctx, wire, tok)
 		if err == nil {
 			break
 		}
@@ -394,7 +426,7 @@ func (s *Server) runRemote(job *Job, peer *peerClient) error {
 			if !ok {
 				return err
 			}
-			if uerr := peer.uploadModel(ctx, art); uerr != nil {
+			if uerr := peer.uploadModel(ctx, art, tok); uerr != nil {
 				return uerr
 			}
 			uploaded = true
@@ -427,12 +459,12 @@ func (s *Server) runRemote(job *Job, peer *peerClient) error {
 		case <-ctx.Done():
 			// Release the peer's worker if our side gave up first.
 			dctx, dcancel := context.WithTimeout(context.Background(), peer.client.Timeout)
-			peer.cancelJob(dctx, st.ID)
+			peer.cancelJob(dctx, st.ID, tok)
 			dcancel()
 			return ctx.Err()
 		case <-time.After(s.shard.pollInterval):
 		}
-		next, err := peer.jobStatus(ctx, st.ID)
+		next, err := peer.jobStatus(ctx, st.ID, tok)
 		if err != nil {
 			if misses++; misses >= s.shard.retries {
 				return err
@@ -445,7 +477,7 @@ func (s *Server) runRemote(job *Job, peer *peerClient) error {
 	if st.State != string(StateDone) {
 		return fmt.Errorf("remote job %s on %s finished %s: %s", st.ID, peer.base, st.State, st.Error)
 	}
-	result, err := peer.fetchEntry(ctx, job.key)
+	result, err := peer.fetchEntry(ctx, job.key, tok)
 	if err != nil {
 		return err
 	}
@@ -471,20 +503,23 @@ func (s *Server) importRemote(job *Job, result *JobResult) {
 // point ran. Best-effort: a down peer just misses this fill and will
 // recompute or fetch on demand.
 func (s *Server) replicateOnDone(job *Job) {
+	// Capture the credential now: the subscribe callback may fire after
+	// the registry has recycled the job's slot.
+	tok := s.shard.tokenFor(job)
 	job.subscribe(func(j *Job) {
 		state, result, _ := j.outcome()
 		if state != StateDone || result == nil {
 			return
 		}
-		go s.replicate(j.key, result)
+		go s.replicate(j.key, result, tok)
 	})
 }
 
 // replicate fans one completed entry out to the peer set.
-func (s *Server) replicate(key string, result *JobResult) {
+func (s *Server) replicate(key string, result *JobResult, tok string) {
 	for _, pc := range s.shard.peers {
 		ctx, cancel := context.WithTimeout(s.rootCtx, pc.client.Timeout)
-		err := pc.pushEntry(ctx, key, result)
+		err := pc.pushEntry(ctx, key, result, tok)
 		cancel()
 		if err != nil {
 			s.metrics.shardReplicateFailed()

@@ -21,10 +21,15 @@ func (s jobSpec) run(ctx context.Context) (experiments.Result, error) {
 }
 
 // worker drains the queue until it is closed; each claimed job runs to
-// a terminal state before the next is picked up.
+// a terminal state before the next is picked up. Which job comes next
+// is the fair-share scheduler's call, not arrival order.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.reg.queue {
+	for {
+		job, ok := s.reg.dequeue()
+		if !ok {
+			return
+		}
 		s.runJob(job)
 	}
 }
@@ -57,15 +62,16 @@ func (s *Server) runJob(job *Job) {
 		// must find the result in the cache (exactly-once invariant).
 		s.store(job.key, payload)
 		job.finish(StateDone, payload, nil)
-		s.metrics.jobCompleted(elapsed)
+		s.metrics.jobCompleted(job.tenant, elapsed,
+			uint64(job.spec.warmup)+uint64(job.spec.measure))
 	case errors.Is(err, context.Canceled):
 		job.finish(StateCancelled, nil, errors.New("cancelled while running"))
-		s.metrics.jobCancelled()
+		s.metrics.jobCancelled(job.tenant)
 	case errors.Is(err, context.DeadlineExceeded):
 		job.finish(StateFailed, nil, fmt.Errorf("timed out after %v", job.spec.timeout))
-		s.metrics.jobFailed()
+		s.metrics.jobFailed(job.tenant)
 	default:
 		job.finish(StateFailed, nil, err)
-		s.metrics.jobFailed()
+		s.metrics.jobFailed(job.tenant)
 	}
 }

@@ -1,0 +1,249 @@
+package tenant
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeTenants marshals a tenants file into dir and returns its path.
+func writeTenants(t *testing.T, dir string, ts ...Limits) string {
+	t.Helper()
+	raw, err := json.Marshal(file{Tenants: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDisabledRegistryResolvesEverythingToAnonymous(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Enabled() {
+		t.Fatal("empty path should leave the registry disabled")
+	}
+	for _, tok := range []string{"", "whatever", "tok-alice"} {
+		tn, ok := r.Lookup(tok)
+		if !ok || tn.Name() != AnonymousName {
+			t.Fatalf("Lookup(%q) = (%v, %v), want anonymous tenant", tok, tn, ok)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("disabled registry Len = %d, want 0", r.Len())
+	}
+	// The anonymous tenant is unlimited: no rate limit, no quota.
+	anon := r.Anonymous()
+	if ok, _ := anon.AllowRequest(time.Now()); !ok {
+		t.Fatal("anonymous tenant should never be rate limited")
+	}
+	if !anon.AcquireSlots(1 << 20) {
+		t.Fatal("anonymous tenant should never hit a quota")
+	}
+}
+
+func TestOpenRejectsInvalidFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		label   string
+		tenants []Limits
+	}{
+		{"empty set", nil},
+		{"reserved name", []Limits{{Name: AnonymousName, Token: "tok-anon"}}},
+		{"empty name", []Limits{{Name: "", Token: "tok-x"}}},
+		{"short token", []Limits{{Name: "a", Token: "abc"}}},
+		{"duplicate name", []Limits{
+			{Name: "a", Token: "tok-a1"}, {Name: "a", Token: "tok-a2"}}},
+		{"duplicate token", []Limits{
+			{Name: "a", Token: "tok-same"}, {Name: "b", Token: "tok-same"}}},
+		{"negative limit", []Limits{{Name: "a", Token: "tok-a", MaxInFlight: -1}}},
+	}
+	for _, tc := range cases {
+		path := writeTenants(t, dir, tc.tenants...)
+		if _, err := Open(path); err == nil {
+			t.Errorf("%s: Open accepted an invalid tenants file", tc.label)
+		}
+	}
+	if _, err := Open(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Open accepted a nonexistent path")
+	}
+}
+
+func TestLookupResolvesOnlyConfiguredTokens(t *testing.T) {
+	path := writeTenants(t, t.TempDir(),
+		Limits{Name: "alice", Token: "tok-alice", Weight: 4},
+		Limits{Name: "bob", Token: "tok-bob"})
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Enabled() || r.Len() != 2 {
+		t.Fatalf("enabled=%v len=%d, want true/2", r.Enabled(), r.Len())
+	}
+	tn, ok := r.Lookup("tok-alice")
+	if !ok || tn.Name() != "alice" || tn.Weight() != 4 {
+		t.Fatalf("Lookup(tok-alice) = (%v, %v)", tn, ok)
+	}
+	for _, bad := range []string{"", "tok-mallory"} {
+		if _, ok := r.Lookup(bad); ok {
+			t.Fatalf("Lookup(%q) resolved on an enabled registry", bad)
+		}
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("Names() = %v, want [alice bob]", got)
+	}
+}
+
+func TestTokenBucketRefillsAtRate(t *testing.T) {
+	tn := newTenant(Limits{Name: "a", Token: "tok-a", RatePerSec: 10, Burst: 2})
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if ok, _ := tn.AllowRequest(now); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := tn.AllowRequest(now)
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	// 10/s refill: the next whole token is 100ms out.
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~100ms", retry)
+	}
+	if ok, _ := tn.AllowRequest(now.Add(retry)); !ok {
+		t.Fatal("request after the hinted wait still denied")
+	}
+	// The bucket caps at burst: a long idle period banks at most 2.
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := tn.AllowRequest(later); !ok {
+			t.Fatalf("post-idle request %d denied", i)
+		}
+	}
+	if ok, _ := tn.AllowRequest(later); ok {
+		t.Fatal("idle time banked more than burst tokens")
+	}
+}
+
+func TestQuotaIsAllOrNothing(t *testing.T) {
+	tn := newTenant(Limits{Name: "a", Token: "tok-a", MaxInFlight: 4})
+	if !tn.AcquireSlots(3) {
+		t.Fatal("3 of 4 slots denied")
+	}
+	if tn.AcquireSlots(2) {
+		t.Fatal("acquiring 2 with 1 free should fail whole, not truncate")
+	}
+	if tn.InFlight() != 3 {
+		t.Fatalf("failed acquire leaked slots: inflight=%d, want 3", tn.InFlight())
+	}
+	if !tn.AcquireSlots(1) {
+		t.Fatal("last slot denied")
+	}
+	tn.ReleaseSlot()
+	tn.ReleaseSlot()
+	if tn.InFlight() != 2 {
+		t.Fatalf("inflight=%d after two releases, want 2", tn.InFlight())
+	}
+	// Release never goes negative, even if over-called.
+	for i := 0; i < 5; i++ {
+		tn.ReleaseSlot()
+	}
+	if tn.InFlight() != 0 {
+		t.Fatalf("inflight=%d, want 0", tn.InFlight())
+	}
+}
+
+func TestReloadPreservesRuntimeState(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTenants(t, dir,
+		Limits{Name: "alice", Token: "tok-alice", RatePerSec: 100, Burst: 100, MaxInFlight: 10},
+		Limits{Name: "bob", Token: "tok-bob"})
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := r.Lookup("tok-alice")
+	if !alice.AcquireSlots(7) {
+		t.Fatal("seeding in-flight state failed")
+	}
+
+	// Reload with a rotated token, a shrunk burst and bob removed.
+	writeTenants(t, dir,
+		Limits{Name: "alice", Token: "tok-alice2", RatePerSec: 100, Burst: 3, MaxInFlight: 10},
+		Limits{Name: "carol", Token: "tok-carol"})
+	if err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	alice2, ok := r.Lookup("tok-alice2")
+	if !ok || alice2 != alice {
+		t.Fatal("reload must keep the surviving tenant's identity (same *Tenant)")
+	}
+	if _, ok := r.Lookup("tok-alice"); ok {
+		t.Fatal("rotated-out token still resolves")
+	}
+	if _, ok := r.Lookup("tok-bob"); ok {
+		t.Fatal("removed tenant still resolves")
+	}
+	if alice.InFlight() != 7 {
+		t.Fatalf("reload reset in-flight accounting: %d, want 7", alice.InFlight())
+	}
+	// The bucket clamps to the new, smaller burst immediately.
+	now := time.Now()
+	denied := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := alice.AllowRequest(now); !ok {
+			denied++
+		}
+	}
+	if denied != 7 {
+		t.Fatalf("shrunk burst of 3 allowed %d of 10 instant requests", 10-denied)
+	}
+	// Jobs admitted under the old config still release cleanly.
+	for i := 0; i < 7; i++ {
+		alice.ReleaseSlot()
+	}
+	if alice.InFlight() != 0 {
+		t.Fatalf("inflight=%d after releasing all, want 0", alice.InFlight())
+	}
+}
+
+func TestReloadErrorKeepsPreviousState(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTenants(t, dir, Limits{Name: "alice", Token: "tok-alice"})
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload(); err == nil {
+		t.Fatal("Reload accepted a corrupt file")
+	}
+	if _, ok := r.Lookup("tok-alice"); !ok {
+		t.Fatal("failed reload dropped the previous tenant set")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	tn := newTenant(Limits{Name: "a", Token: "tok-a"})
+	if tn.Weight() != 1 {
+		t.Fatalf("default weight %d, want 1", tn.Weight())
+	}
+	if tn.MaxInFlight() != 0 || !tn.AcquireSlots(1000) {
+		t.Fatal("zero MaxInFlight must mean unlimited")
+	}
+	if ok, _ := tn.AllowRequest(time.Now()); !ok {
+		t.Fatal("zero RatePerSec must mean unlimited")
+	}
+	if tn.Admin() {
+		t.Fatal("admin must default to false")
+	}
+}
