@@ -58,6 +58,7 @@ func realMain() int {
 		cacheOut   = flag.String("cache-out", "", "with -sweep: write results as a pearld cache-warming artifact (JSON)")
 		serverURL  = flag.String("server", "", "with -sweep: submit to a running pearld at this base URL instead of simulating in-process; honors 429/503 Retry-After with bounded backoff")
 		token      = flag.String("token", "", "API token for -server (tenant bearer token)")
+		follow     = flag.Bool("follow", false, "with -server: stream the batch's live SSE event feed (per-window samples, per-point progress) instead of polling silently; falls back to polling if the stream fails")
 		modelList  = flag.String("model", "", "comma-separated trained model artifact files (pearltrain -out); serves ML points instead of training in-process")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -124,7 +125,7 @@ func realMain() int {
 			if *cacheOut != "" {
 				return fail(fmt.Errorf("-cache-out needs local results; drop -server (the daemon already caches server-side)"))
 			}
-			if err := runRemoteSweep(w, opts, *sweep, *serverURL, *token); err != nil {
+			if err := runRemoteSweep(w, opts, *sweep, *serverURL, *token, *follow); err != nil {
 				return fail(err)
 			}
 			return 0

@@ -137,6 +137,81 @@ func (c *remoteClient) postJSON(path string, payload, out any) error {
 	}
 }
 
+// followBatch consumes GET /v1/batches/{id}/events until the feed's
+// terminal end frame, printing window samples and point progress as
+// they happen. Interrupted streams resume from the last received event
+// id with bounded retries; an error means every attempt failed before
+// the feed ended, and the caller should fall back to status polling.
+// The stream uses its own http.Client with no Timeout — the feed is
+// expected to outlive any fixed request deadline.
+func (c *remoteClient) followBatch(w io.Writer, id string) error {
+	stream := &http.Client{}
+	var last uint64
+	var lastErr error
+	for attempt := 0; attempt < remoteMaxRetries; attempt++ {
+		done, err := c.streamBatchOnce(w, stream, id, &last)
+		if done {
+			return nil
+		}
+		lastErr = err
+		c.logf("pearlbench: event stream interrupted (%v), resuming after id %d", err, last)
+		c.sleep(time.Second)
+	}
+	return fmt.Errorf("event stream for batch %s failed after %d attempts: %w",
+		id, remoteMaxRetries, lastErr)
+}
+
+// streamBatchOnce runs one streaming attempt; done reports the clean
+// terminal frame.
+func (c *remoteClient) streamBatchOnce(w io.Writer, stream *http.Client, id string, last *uint64) (done bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/batches/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	if *last > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*last, 10))
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := stream.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return false, fmt.Errorf("events: HTTP %d: %s", resp.StatusCode, errorMessage(data))
+	}
+	err = server.DecodeSSE(resp.Body, func(fr server.SSEFrame) error {
+		if n, perr := strconv.ParseUint(fr.ID, 10, 64); perr == nil {
+			*last = n
+		}
+		switch fr.Event {
+		case "window":
+			var ev server.WindowEvent
+			if json.Unmarshal(fr.Data, &ev) != nil {
+				return nil
+			}
+			fmt.Fprintf(w, "  window %-26s %-12s w%-4d %8.2f bits/cycle  p99 %6.1f cyc  %6.3f W\n",
+				ev.Label, ev.Pair, ev.Window, ev.ThroughputBitsPerCycle,
+				ev.LatencyP99Cycles, ev.PowerW)
+		case "progress":
+			var ev server.BatchProgressEvent
+			if json.Unmarshal(fr.Data, &ev) != nil {
+				return nil
+			}
+			fmt.Fprintf(w, "  point %-27s %-12s %s (%d/%d done)\n",
+				ev.Point.ID, ev.Point.Pair, ev.Point.State, ev.Done, ev.Total)
+		case "end":
+			done = true
+			return server.ErrSSEStop
+		}
+		return nil
+	})
+	return done, err
+}
+
 // getJSON fetches and decodes one resource (no retry loop: polling
 // callers already re-poll on their own cadence).
 func (c *remoteClient) getJSON(path string, out any) error {
@@ -156,9 +231,12 @@ func (c *remoteClient) getJSON(path string, out any) error {
 }
 
 // runRemoteSweep submits the named sweep as a batch to the -server
-// daemon, polls it to a terminal state and prints the same per-point
+// daemon, drives it to a terminal state and prints the same per-point
 // lines a local sweep would (plus the server's aggregated series).
-func runRemoteSweep(w io.Writer, opts experiments.Options, name, serverURL, token string) error {
+// With follow the batch's live SSE event feed is streamed — one line
+// per reservation-window sample and per settled point — and the poll
+// loop below only runs as the fallback when the stream dies.
+func runRemoteSweep(w io.Writer, opts experiments.Options, name, serverURL, token string, follow bool) error {
 	c := newRemoteClient(serverURL, token, func(format string, args ...any) {
 		fmt.Fprintf(w, format+"\n", args...)
 	})
@@ -174,6 +252,12 @@ func runRemoteSweep(w io.Writer, opts experiments.Options, name, serverURL, toke
 		return fmt.Errorf("submitting sweep %s: %w", name, err)
 	}
 	fmt.Fprintf(w, "batch %s accepted: %d points (%d skipped)\n", st.ID, st.Total, len(st.Skipped))
+
+	if follow {
+		if err := c.followBatch(w, st.ID); err != nil {
+			c.logf("pearlbench: %v; falling back to polling", err)
+		}
+	}
 
 	misses := 0
 	for st.Pending+st.Running > 0 {

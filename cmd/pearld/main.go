@@ -12,6 +12,7 @@
 //	pearld -model-dir models/                      # host trained ML models
 //	pearld -peers http://b:8080,http://c:8080      # shard batches across peers
 //	pearld -tenants tenants.json                   # token auth + fair-share scheduling
+//	pearld -stream-ring 1024 -max-streams 4        # tune the live /events SSE feeds
 //
 // SIGINT/SIGTERM starts a graceful drain: intake stops (503), queued
 // jobs are cancelled, in-flight simulations finish (bounded by
@@ -51,6 +52,9 @@ func main() {
 		shardRetries = flag.Int("shard-retries", 0, "attempts against an unavailable peer before falling back to local execution (0 = 3 default)")
 		tenants      = flag.String("tenants", "", "JSON tenant config file (tokens, weights, quotas); empty = open access as a single anonymous tenant. SIGHUP or POST /v1/admin/tenants/reload re-reads it")
 		shardToken   = flag.String("shard-token", "", "service API token peer calls fall back to when a job carries no tenant token (tokenized clusters)")
+		streamRing   = flag.Int("stream-ring", 0, "per-feed event ring capacity for /events streams; overflow drops oldest (0 = 512 default)")
+		streamHB     = flag.Duration("stream-heartbeat", 0, "idle heartbeat interval on /events streams (0 = 15s default)")
+		maxStreams   = flag.Int("max-streams", 0, "default per-tenant concurrent /events stream cap; per-tenant max_streams overrides (0 = 16 default)")
 
 		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
 		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long shutdown waits for in-flight jobs")
@@ -63,18 +67,21 @@ func main() {
 	}
 
 	opts := server.Options{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheCapacity:    *cacheCap,
-		CacheDir:         *cacheDir,
-		CacheDirMaxBytes: *cacheDirMax,
-		ModelDir:         *modelDir,
-		DefaultTimeout:   *timeout,
-		Peers:            splitPeers(*peers),
-		ShardTimeout:     *shardTimeout,
-		ShardRetries:     *shardRetries,
-		TenantsFile:      *tenants,
-		ShardToken:       *shardToken,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheCapacity:       *cacheCap,
+		CacheDir:            *cacheDir,
+		CacheDirMaxBytes:    *cacheDirMax,
+		ModelDir:            *modelDir,
+		DefaultTimeout:      *timeout,
+		Peers:               splitPeers(*peers),
+		ShardTimeout:        *shardTimeout,
+		ShardRetries:        *shardRetries,
+		TenantsFile:         *tenants,
+		ShardToken:          *shardToken,
+		StreamRingCapacity:  *streamRing,
+		StreamHeartbeat:     *streamHB,
+		MaxStreamsPerTenant: *maxStreams,
 	}
 	if err := run(*addr, opts, *warmCache, *drainGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "pearld:", err)

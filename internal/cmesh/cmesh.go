@@ -587,3 +587,8 @@ func (n *Network) InFlight() int {
 	}
 	return total + n.partialEjected
 }
+
+// WavelengthsOn is always 0: the electrical mesh has no photonic state.
+// It exists so both backends satisfy the streaming window sampler's
+// source interface.
+func (n *Network) WavelengthsOn() float64 { return 0 }

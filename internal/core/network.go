@@ -209,3 +209,16 @@ func (n *Network) InFlight() int {
 	}
 	return total
 }
+
+// WavelengthsOn reports the mean per-router wavelength count currently
+// powered — the instantaneous photonic state the streaming layer
+// samples at reservation-window boundaries. Read-only and off the
+// per-cycle hot path (routers already cache their state's wavelength
+// count).
+func (n *Network) WavelengthsOn() float64 {
+	sum := 0
+	for _, r := range n.routers {
+		sum += r.stateWL
+	}
+	return float64(sum) / float64(len(n.routers))
+}

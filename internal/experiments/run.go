@@ -37,6 +37,13 @@ type Options struct {
 	TrainPairs, ValPairs []traffic.Pair
 	// CollectCycles is the per-pair length of each data-collection pass.
 	CollectCycles int64
+	// OnWindow, when non-nil, receives one WindowStats per reservation
+	// window of the measurement phase as the run executes (plus a final
+	// partial window when MeasureCycles is not a multiple of the
+	// window). The hook runs on the simulation goroutine between cycles:
+	// it must not block, and it must not touch the engine. Leaving it
+	// nil keeps the run byte-identical to one without observation.
+	OnWindow func(WindowStats)
 }
 
 // Full returns the paper-faithful option set: all 16 test pairs, all 36
@@ -138,20 +145,37 @@ func RunPEARLCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts
 	if err != nil {
 		return Result{}, err
 	}
-	net.SetDeliveryHandler(w.OnDeliver)
+	var sampler *windowSampler
+	if opts.OnWindow != nil {
+		sampler = newWindowSampler(opts.OnWindow, net, acct,
+			int64(cfg.ReservationWindow), config.NetworkFrequencyHz)
+		net.SetDeliveryHandler(sampler.wrapDeliver(w.OnDeliver))
+	} else {
+		net.SetDeliveryHandler(w.OnDeliver)
+	}
 	engine.Register(w)
 	engine.Register(net)
+	if sampler != nil {
+		// After the network: the sampler reads each cycle's settled state.
+		engine.Register(sampler)
+	}
 
 	if err := runCycles(ctx, engine, opts.WarmupCycles); err != nil {
 		return Result{}, err
 	}
 	net.StartMeasurement()
 	w.StartMeasurement()
+	if sampler != nil {
+		sampler.start(engine.Cycle())
+	}
 	if err := runCycles(ctx, engine, opts.MeasureCycles); err != nil {
 		return Result{}, err
 	}
 	net.StopMeasurement(opts.MeasureCycles)
 	w.StopMeasurement()
+	if sampler != nil {
+		sampler.finish(engine.Cycle())
+	}
 
 	return Result{
 		Name:             cfg.Name(),
@@ -189,20 +213,39 @@ func RunCMESHCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts
 	if err != nil {
 		return Result{}, err
 	}
-	net.SetDeliveryHandler(w.OnDeliver)
+	var sampler *windowSampler
+	if opts.OnWindow != nil {
+		// The electrical mesh has no reservation windows of its own; the
+		// configured window length just sets the sampling cadence so both
+		// backends stream comparable frames.
+		sampler = newWindowSampler(opts.OnWindow, net, acct,
+			int64(cfg.ReservationWindow), config.NetworkFrequencyHz)
+		net.SetDeliveryHandler(sampler.wrapDeliver(w.OnDeliver))
+	} else {
+		net.SetDeliveryHandler(w.OnDeliver)
+	}
 	engine.Register(w)
 	engine.Register(net)
+	if sampler != nil {
+		engine.Register(sampler)
+	}
 
 	if err := runCycles(ctx, engine, opts.WarmupCycles); err != nil {
 		return Result{}, err
 	}
 	net.StartMeasurement()
 	w.StartMeasurement()
+	if sampler != nil {
+		sampler.start(engine.Cycle())
+	}
 	if err := runCycles(ctx, engine, opts.MeasureCycles); err != nil {
 		return Result{}, err
 	}
 	net.StopMeasurement(opts.MeasureCycles)
 	w.StopMeasurement()
+	if sampler != nil {
+		sampler.finish(engine.Cycle())
+	}
 
 	return Result{
 		Name:             name,

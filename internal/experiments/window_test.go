@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// collectWindows runs the PEARL path with an OnWindow hook and returns
+// the sample sequence alongside the final result.
+func collectWindows(t *testing.T, opts Options) ([]WindowStats, Result) {
+	t.Helper()
+	var wins []WindowStats
+	opts.OnWindow = func(ws WindowStats) { wins = append(wins, ws) }
+	res, err := RunPEARL(config.PEARLDyn(), traffic.TestPairs()[0], opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wins, res
+}
+
+// TestWindowSamplesTileTheMeasurement: the per-window deltas must
+// partition the measured run exactly — indices are contiguous from 0,
+// the windows tile MeasureCycles (with one trailing partial window when
+// it is not a multiple of the reservation window), and the summed
+// deliveries equal the final result's cumulative counters.
+func TestWindowSamplesTileTheMeasurement(t *testing.T) {
+	opts := tiny()
+	opts.MeasureCycles = 5750 // not a multiple of the 500-cycle window: forces a partial tail
+	wins, res := collectWindows(t, opts)
+
+	rw := int64(config.PEARLDyn().ReservationWindow)
+	wantWindows := int(opts.MeasureCycles / rw)
+	if opts.MeasureCycles%rw != 0 {
+		wantWindows++
+	}
+	if len(wins) != wantWindows {
+		t.Fatalf("%d windows over %d cycles (RW %d), want %d", len(wins), opts.MeasureCycles, rw, wantWindows)
+	}
+
+	var cycles int64
+	var packets, bits float64
+	for i, ws := range wins {
+		if ws.Window != i {
+			t.Fatalf("window %d carries index %d; indices must be contiguous from 0", i, ws.Window)
+		}
+		want := rw
+		if i == len(wins)-1 {
+			want = opts.MeasureCycles - rw*int64(len(wins)-1)
+		}
+		if ws.Cycles != want {
+			t.Fatalf("window %d spans %d cycles, want %d", i, ws.Cycles, want)
+		}
+		if ws.LatencyP99Cycles < ws.LatencyP50Cycles {
+			t.Fatalf("window %d percentiles inverted: p50 %v > p99 %v", i, ws.LatencyP50Cycles, ws.LatencyP99Cycles)
+		}
+		if ws.WavelengthsOn <= 0 || ws.PowerW <= 0 {
+			t.Fatalf("window %d photonic state: %+v", i, ws)
+		}
+		cycles += ws.Cycles
+		packets += float64(ws.DeliveredPackets)
+		bits += ws.ThroughputBitsPerCycle * float64(ws.Cycles)
+	}
+	if cycles != opts.MeasureCycles {
+		t.Fatalf("windows tile %d cycles, want %d", cycles, opts.MeasureCycles)
+	}
+	if got := float64(res.Metrics.Delivered.TotalPackets()); packets != got {
+		t.Fatalf("window deliveries sum to %v, final result counts %v", packets, got)
+	}
+	if got := res.ThroughputBitsPerCycle() * float64(opts.MeasureCycles); math.Abs(bits-got) > 1e-6*got {
+		t.Fatalf("window throughput integrates to %v bits, final result says %v", bits, got)
+	}
+}
+
+// TestOnWindowIsPureObservation is the no-observer-effect guarantee
+// the golden results and benchgate rest on: running with a hook yields
+// the exact Result a hookless run produces, and two hooked runs emit
+// identical sample sequences.
+func TestOnWindowIsPureObservation(t *testing.T) {
+	opts := tiny()
+	bare, err := RunPEARL(config.PEARLDyn(), traffic.TestPairs()[0], opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins1, hooked := collectWindows(t, opts)
+	if !reflect.DeepEqual(bare.Metrics, hooked.Metrics) || bare.Retired != hooked.Retired {
+		t.Fatal("OnWindow hook perturbed the simulation result")
+	}
+	wins2, _ := collectWindows(t, opts)
+	if !reflect.DeepEqual(wins1, wins2) {
+		t.Fatal("window sample sequence is not deterministic for a fixed seed")
+	}
+}
+
+// TestNearestRankMatchesHistogram pins the sampler's percentile
+// definition to stats.Histogram's — the two report the same latency
+// statistic, one per window, one per run.
+func TestNearestRankMatchesHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		h := stats.NewHistogram(0)
+		for i := range xs {
+			v := float64(rng.Intn(1000))
+			xs[i] = v
+			h.Add(v)
+		}
+		for _, p := range []float64{0, 1, 50, 90, 99, 100} {
+			if got, want := nearestRank(xs, p), h.Percentile(p); got != want {
+				t.Fatalf("trial %d n=%d: nearestRank(%v) = %v, Histogram.Percentile = %v", trial, n, p, got, want)
+			}
+		}
+	}
+	if nearestRank(nil, 50) != 0 {
+		t.Fatal("empty sample set must report 0")
+	}
+}

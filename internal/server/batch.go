@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
@@ -173,6 +174,15 @@ type Batch struct {
 	// skipped lists sweep points that never became jobs (unservable ML
 	// points); immutable after submission.
 	skipped []SkippedPoint
+	// tenant is the submitting tenant (event attribution); events is
+	// the batch's live feed, fed by every member job's window frames
+	// plus per-point progress frames. sealed flips once the submit loop
+	// has added every member — before that the feed must not close,
+	// however many early points are already terminal (cache hits fire
+	// their subscribers inline during submission).
+	tenant string
+	events *eventRing
+	sealed atomic.Bool
 
 	mu        sync.Mutex
 	jobs      []*Job
@@ -416,6 +426,8 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		cancelOnError: req.CancelOnError,
 		submitted:     time.Now(),
 		skipped:       skipped,
+		tenant:        tn.Name(),
+		events:        newEventRing(s.opts.StreamRingCapacity),
 	}
 	s.batches.add(b)
 	s.metrics.batchSubmitted()
@@ -425,9 +437,11 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	allCached := true
 	for _, spec := range specs {
 		s.metrics.jobSubmitted(tn.Name())
-		job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
+		job := s.buildJob(spec)
+		job.sinks = append(job.sinks, b.events)
 		stampTenant(job, tn, token)
 		b.addJob(job)
+		s.closeFeedOnTerminal(job)
 		job.subscribe(func(j *Job) { b.noteTerminal(s, j) })
 		if b.isCancelled() {
 			// An earlier point already failed and cancel_on_error fired.
@@ -446,6 +460,16 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			deferred = append(deferred, job)
 		}
 	}
+	// Progress subscribers attach only after every member exists, so
+	// frames fired here by already-terminal points (cache hits) carry
+	// the full batch totals; sealing afterwards lets the last terminal
+	// point — or this very call, for a fully-warm batch — close the
+	// feed.
+	for _, job := range b.snapshotJobs() {
+		job.subscribe(func(j *Job) { b.noteProgress(s, j) })
+	}
+	b.sealed.Store(true)
+	b.maybeCloseFeed(s)
 	if len(deferred) > 0 {
 		if s.shard != nil {
 			go s.feedBatchSharded(deferred)

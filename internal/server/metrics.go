@@ -37,10 +37,16 @@ type metrics struct {
 	cacheExportsCnt uint64
 	cacheImportsCnt uint64
 	throttled       uint64
-	busy            int
-	workers         int
-	latency         *stats.Histogram // seconds per completed job
-	upSince         time.Time
+	// Streaming layer: frames appended across every job/batch event
+	// ring, frames evicted by ring overflow, and the live open-stream
+	// gauge.
+	eventsEmitted uint64
+	eventsDropped uint64
+	streamsOpen   int
+	busy          int
+	workers       int
+	latency       *stats.Histogram // seconds per completed job
+	upSince       time.Time
 	// tenants attributes traffic to the authenticated principal that
 	// caused it; keys are tenant names, created on first touch.
 	tenants map[string]*tenantCounters
@@ -59,6 +65,11 @@ type tenantCounters struct {
 	cacheHits uint64
 	cacheMiss uint64
 	cycles    uint64
+	// Streaming attribution: frames emitted by the tenant's jobs,
+	// frames its rings dropped, and its live open-stream gauge.
+	eventsEmitted uint64
+	eventsDropped uint64
+	streamsOpen   int
 }
 
 func newMetrics(workers int) *metrics {
@@ -121,6 +132,35 @@ func (m *metrics) tenantThrottled(tn string) {
 	m.mu.Lock()
 	m.throttled++
 	m.forTenant(tn).throttled++
+	m.mu.Unlock()
+}
+
+// eventEmitted counts one frame appended to an event ring; dropped
+// marks appends that evicted an older frame to make room.
+func (m *metrics) eventEmitted(tn string, dropped bool) {
+	m.mu.Lock()
+	m.eventsEmitted++
+	tc := m.forTenant(tn)
+	tc.eventsEmitted++
+	if dropped {
+		m.eventsDropped++
+		tc.eventsDropped++
+	}
+	m.mu.Unlock()
+}
+
+// streamOpened/streamClosed track the live SSE stream gauge.
+func (m *metrics) streamOpened(tn string) {
+	m.mu.Lock()
+	m.streamsOpen++
+	m.forTenant(tn).streamsOpen++
+	m.mu.Unlock()
+}
+
+func (m *metrics) streamClosed(tn string) {
+	m.mu.Lock()
+	m.streamsOpen--
+	m.forTenant(tn).streamsOpen--
 	m.mu.Unlock()
 }
 
@@ -238,6 +278,12 @@ type MetricsSnapshot struct {
 	JobLatencyMeanS float64 `json:"job_latency_mean_s"`
 	JobLatencyP50S  float64 `json:"job_latency_p50_s"`
 	JobLatencyP99S  float64 `json:"job_latency_p99_s"`
+	// Streaming layer: frames appended to event rings, frames evicted
+	// by ring overflow (visible to consumers as id gaps + the per-frame
+	// dropped counter), and currently open SSE streams.
+	EventsEmitted uint64 `json:"events_emitted"`
+	EventsDropped uint64 `json:"events_dropped"`
+	StreamsOpen   int    `json:"streams_open"`
 	// Multi-tenant attribution: configured tenant count, lifetime 429s,
 	// and the per-tenant breakdown keyed by tenant name.
 	TenantsConfigured int                       `json:"tenants_configured"`
@@ -265,6 +311,10 @@ type TenantSnapshot struct {
 	// counted against the quota.
 	QueueDepth int `json:"queue_depth"`
 	InFlight   int `json:"in_flight"`
+	// Streaming attribution (see the top-level fields of the same name).
+	EventsEmitted uint64 `json:"events_emitted"`
+	EventsDropped uint64 `json:"events_dropped"`
+	StreamsOpen   int    `json:"streams_open"`
 }
 
 // diskSnapshot carries the disk store's live footprint into snapshot.
@@ -324,6 +374,10 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int,
 		JobLatencyP50S:  q[0],
 		JobLatencyP99S:  q[1],
 
+		EventsEmitted: m.eventsEmitted,
+		EventsDropped: m.eventsDropped,
+		StreamsOpen:   m.streamsOpen,
+
 		TenantsConfigured: tg.configured,
 		JobsThrottled:     m.throttled,
 	}
@@ -362,6 +416,9 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int,
 				ts.CacheHits = tc.cacheHits
 				ts.CacheMisses = tc.cacheMiss
 				ts.CyclesSimulated = tc.cycles
+				ts.EventsEmitted = tc.eventsEmitted
+				ts.EventsDropped = tc.eventsDropped
+				ts.StreamsOpen = tc.streamsOpen
 			}
 			s.Tenants[n] = ts
 		}

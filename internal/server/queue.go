@@ -42,6 +42,13 @@ type Job struct {
 	token  string
 	weight int
 
+	// events is the job's live feed; sinks are additional rings (the
+	// owning batch's feed) its window frames fan out to. Both are fixed
+	// before the job is shared with any other goroutine, so they need
+	// no lock; the rings themselves are concurrency-safe.
+	events *eventRing
+	sinks  []*eventRing
+
 	ctx    context.Context
 	cancel context.CancelFunc
 

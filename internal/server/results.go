@@ -52,22 +52,13 @@ type BatchResults struct {
 	Skipped     []SkippedPoint `json:"skipped,omitempty"`
 }
 
-// results assembles the figure-shaped aggregation: per-point outcomes
-// plus per-label means over whatever has finished so far. Callable at
-// any time — a half-done batch reports partial means with the finished
-// point counts alongside, so a client can tell a settled figure from a
-// snapshot.
-func (b *Batch) results() BatchResults {
-	jobs := b.snapshotJobs()
-	st := b.status(false)
-	out := BatchResults{
-		ID:          b.ID,
-		State:       st.State,
-		Complete:    st.Done == st.Total,
-		SubmittedAt: b.submitted.UTC().Format(time.RFC3339Nano),
-		Points:      make([]PointResult, 0, len(jobs)),
-		Skipped:     b.skipped,
-	}
+// seriesRows is the figure-shaped reduction both the results endpoint
+// and the batch event feed's incremental progress frames share: group
+// the jobs by configuration label (first-seen order — for sweeps, the
+// figure's row order) and average the finished points' metrics per
+// label. Callable at any time; a partial batch yields partial means
+// with Points < Expected alongside.
+func seriesRows(jobs []*Job) []SeriesRow {
 	type acc struct {
 		row   SeriesRow
 		order int
@@ -83,18 +74,7 @@ func (b *Batch) results() BatchResults {
 			order++
 		}
 		a.row.Expected++
-
-		js := j.Status()
-		pr := PointResult{
-			Label:  label,
-			Pair:   js.Pair,
-			State:  js.State,
-			Cached: js.Cached,
-			Model:  js.Model,
-			Error:  js.Error,
-		}
 		if res, done := j.Result(); done {
-			pr.Result = res
 			a.row.Points++
 			a.row.ThroughputBitsPerCycle += res.ThroughputBitsPerCycle
 			a.row.ThroughputGbps += res.ThroughputGbps
@@ -102,7 +82,6 @@ func (b *Batch) results() BatchResults {
 			a.row.AvgLaserPowerW += res.AvgLaserPowerW
 			a.row.EnergyPerBitPJ += res.EnergyPerBitPJ
 		}
-		out.Points = append(out.Points, pr)
 	}
 	rows := make([]*acc, 0, len(series))
 	for _, a := range series {
@@ -115,11 +94,45 @@ func (b *Batch) results() BatchResults {
 		}
 		rows = append(rows, a)
 	}
-	// First-seen order, which for sweeps is the figure's row order.
 	sort.Slice(rows, func(i, k int) bool { return rows[i].order < rows[k].order })
-	out.Series = make([]SeriesRow, len(rows))
+	out := make([]SeriesRow, len(rows))
 	for i, a := range rows {
-		out.Series[i] = a.row
+		out[i] = a.row
+	}
+	return out
+}
+
+// results assembles the figure-shaped aggregation: per-point outcomes
+// plus per-label means over whatever has finished so far. Callable at
+// any time — a half-done batch reports partial means with the finished
+// point counts alongside, so a client can tell a settled figure from a
+// snapshot.
+func (b *Batch) results() BatchResults {
+	jobs := b.snapshotJobs()
+	st := b.status(false)
+	out := BatchResults{
+		ID:          b.ID,
+		State:       st.State,
+		Complete:    st.Done == st.Total,
+		SubmittedAt: b.submitted.UTC().Format(time.RFC3339Nano),
+		Series:      seriesRows(jobs),
+		Points:      make([]PointResult, 0, len(jobs)),
+		Skipped:     b.skipped,
+	}
+	for _, j := range jobs {
+		js := j.Status()
+		pr := PointResult{
+			Label:  j.spec.label(),
+			Pair:   js.Pair,
+			State:  js.State,
+			Cached: js.Cached,
+			Model:  js.Model,
+			Error:  js.Error,
+		}
+		if res, done := j.Result(); done {
+			pr.Result = res
+		}
+		out.Points = append(out.Points, pr)
 	}
 	return out
 }

@@ -66,6 +66,17 @@ type Options struct {
 	// dispatching job has no tenant token of its own (anonymous local
 	// traffic into a tokenized peer cluster).
 	ShardToken string
+	// StreamRingCapacity bounds each job/batch event ring (default 512
+	// frames). Past it the oldest frames are dropped — never blocking
+	// the simulation — with the cumulative drop count stamped into every
+	// later frame.
+	StreamRingCapacity int
+	// StreamHeartbeat paces SSE comment heartbeats on idle streams
+	// (default 15s).
+	StreamHeartbeat time.Duration
+	// MaxStreamsPerTenant caps a tenant's concurrent SSE streams when
+	// its own max_streams limit is unset (default 16).
+	MaxStreamsPerTenant int
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +103,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ShardPollInterval <= 0 {
 		o.ShardPollInterval = 100 * time.Millisecond
+	}
+	if o.StreamRingCapacity <= 0 {
+		o.StreamRingCapacity = 512
+	}
+	if o.StreamHeartbeat <= 0 {
+		o.StreamHeartbeat = 15 * time.Second
+	}
+	if o.MaxStreamsPerTenant <= 0 {
+		o.MaxStreamsPerTenant = 16
 	}
 	return o
 }
@@ -172,9 +192,11 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
+	s.mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
 	s.mux.HandleFunc("GET /v1/batches/{id}/results", s.handleBatchResults)
 	s.mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
 	s.mux.HandleFunc("POST /v1/models", s.handleModelUpload)
@@ -189,6 +211,14 @@ func New(opts Options) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// buildJob constructs a job with the next id and its event ring
+// attached — every job has a feed, however briefly it lives.
+func (s *Server) buildJob(spec jobSpec) *Job {
+	job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
+	job.events = newEventRing(s.opts.StreamRingCapacity)
+	return job
 }
 
 // lookup checks the memory LRU, then the disk store; disk hits are
@@ -301,8 +331,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.jobSubmitted(tn.Name())
-	job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
+	job := s.buildJob(spec)
 	stampTenant(job, tn, bearerToken(r))
+	s.closeFeedOnTerminal(job)
 	switch s.admit(job, true) {
 	case admitCached:
 		writeJSON(w, http.StatusOK, job.Status())

@@ -50,6 +50,10 @@ type shardPool struct {
 	// tenant's token to forward (anonymous local traffic, background
 	// replication) against tokenized peers.
 	serviceToken string
+	// streamClient carries long-lived SSE proxies of peer job feeds: no
+	// client Timeout (which would kill a healthy stream mid-run) — each
+	// request is bounded by its context instead.
+	streamClient *http.Client
 }
 
 // tokenFor picks the credential a peer call rides on: the submitting
@@ -90,6 +94,7 @@ func newShardPool(opts Options) (*shardPool, error) {
 		retryBase:    opts.ShardRetryBase,
 		pollInterval: opts.ShardPollInterval,
 		serviceToken: opts.ShardToken,
+		streamClient: &http.Client{},
 	}
 	seen := make(map[string]bool)
 	for _, raw := range opts.Peers {
@@ -450,6 +455,12 @@ func (s *Server) runRemote(job *Job, peer *peerClient) error {
 		// its result would not be ours.
 		return fmt.Errorf("peer %s resolved key %s, want %s", peer.base, st.CacheKey, job.key)
 	}
+
+	// Mirror the peer's live event feed into the local rings while the
+	// point runs remotely; ctx dies when runRemote returns, so the
+	// proxy can never outlive the dispatch. Pure observability: its
+	// failures never touch the point's outcome.
+	go s.proxyPeerFeed(ctx, job, peer, st.ID, tok)
 
 	// Poll to terminal, tolerating transient status-poll failures up to
 	// the retry budget.

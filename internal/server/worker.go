@@ -11,9 +11,11 @@ import (
 
 // run executes the spec's simulation under ctx. This is the only place
 // pearld touches the simulator, through the context-aware experiment
-// entry points.
-func (s jobSpec) run(ctx context.Context) (experiments.Result, error) {
+// entry points. onWindow (may be nil) observes each reservation window
+// live; it never affects the result.
+func (s jobSpec) run(ctx context.Context, onWindow func(experiments.WindowStats)) (experiments.Result, error) {
 	opts := s.options()
+	opts.OnWindow = onWindow
 	if s.backend == BackendCMESH {
 		return experiments.RunCMESHCtx(ctx, s.cfg, s.pair, opts, s.linkScale)
 	}
@@ -51,7 +53,7 @@ func (s *Server) runJob(job *Job) {
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := job.spec.run(ctx)
+	res, err := job.spec.run(ctx, func(ws experiments.WindowStats) { s.emitWindow(job, ws) })
 	elapsed := time.Since(start)
 
 	switch {

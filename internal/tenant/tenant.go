@@ -52,6 +52,9 @@ type Limits struct {
 	// MaxInFlight caps the tenant's live (non-terminal) jobs, counting
 	// every expanded batch point; 0 means unlimited.
 	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// MaxStreams caps the tenant's concurrently open event streams
+	// (SSE); 0 defers to the server's default cap.
+	MaxStreams int `json:"max_streams,omitempty"`
 	// Admin marks tenants allowed to hit the admin endpoints
 	// (tenants-file reload).
 	Admin bool `json:"admin,omitempty"`
@@ -72,6 +75,7 @@ type Tenant struct {
 	tokens   float64 // request-bucket level
 	last     time.Time
 	inflight int
+	streams  int
 }
 
 func newTenant(l Limits) *Tenant {
@@ -169,6 +173,42 @@ func (t *Tenant) ReleaseSlot() {
 		t.inflight--
 	}
 	t.mu.Unlock()
+}
+
+// AcquireStream reserves one concurrent-stream slot against the
+// tenant's max_streams limit, deferring to fallback (the server's
+// default cap) when the tenant has none configured; fallback <= 0
+// means uncapped. Callers must pair a successful acquire with
+// ReleaseStream when the stream closes — including on abandoned
+// connections.
+func (t *Tenant) AcquireStream(fallback int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	limit := t.limits.MaxStreams
+	if limit <= 0 {
+		limit = fallback
+	}
+	if limit > 0 && t.streams >= limit {
+		return false
+	}
+	t.streams++
+	return true
+}
+
+// ReleaseStream returns one concurrent-stream slot.
+func (t *Tenant) ReleaseStream() {
+	t.mu.Lock()
+	if t.streams > 0 {
+		t.streams--
+	}
+	t.mu.Unlock()
+}
+
+// Streams reports the tenant's currently open event streams.
+func (t *Tenant) Streams() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.streams
 }
 
 // InFlight reports the tenant's live job count.
@@ -281,7 +321,7 @@ func validate(ts []Limits) error {
 		if tokens[l.Token] {
 			return fmt.Errorf("tenant %q: token already assigned", l.Name)
 		}
-		if l.Weight < 0 || l.RatePerSec < 0 || l.Burst < 0 || l.MaxInFlight < 0 {
+		if l.Weight < 0 || l.RatePerSec < 0 || l.Burst < 0 || l.MaxInFlight < 0 || l.MaxStreams < 0 {
 			return fmt.Errorf("tenant %q: negative limit", l.Name)
 		}
 		names[l.Name], tokens[l.Token] = true, true

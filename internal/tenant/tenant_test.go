@@ -247,3 +247,79 @@ func TestDefaults(t *testing.T) {
 		t.Fatal("admin must default to false")
 	}
 }
+
+// TestStreamSlots pins the concurrent-stream accounting AcquireStream/
+// ReleaseStream meter for the SSE feeds: the tenant's own max_streams
+// wins, the server default is only a fallback, zero-for-both means
+// uncapped, and release never goes negative.
+func TestStreamSlots(t *testing.T) {
+	capped := newTenant(Limits{Name: "capped", Token: "tok-capped", MaxStreams: 2})
+	for i := 0; i < 2; i++ {
+		if !capped.AcquireStream(16) {
+			t.Fatalf("acquire %d rejected under limit 2", i)
+		}
+	}
+	if capped.AcquireStream(16) {
+		t.Fatal("third stream acquired past max_streams=2 (fallback must not override the tenant limit)")
+	}
+	if capped.Streams() != 2 {
+		t.Fatalf("Streams() = %d, want 2", capped.Streams())
+	}
+	capped.ReleaseStream()
+	if !capped.AcquireStream(16) {
+		t.Fatal("released slot not reusable")
+	}
+
+	// No tenant limit: the server default applies...
+	def := newTenant(Limits{Name: "def", Token: "tok-def"})
+	if !def.AcquireStream(1) || def.AcquireStream(1) {
+		t.Fatal("fallback cap of 1 not enforced")
+	}
+	// ...and fallback <= 0 means uncapped.
+	open := newTenant(Limits{Name: "open", Token: "tok-open"})
+	for i := 0; i < 100; i++ {
+		if !open.AcquireStream(0) {
+			t.Fatalf("uncapped tenant rejected stream %d", i)
+		}
+	}
+
+	// Release on an empty count stays at zero instead of going negative
+	// (a double-release must not mint free slots).
+	idle := newTenant(Limits{Name: "idle", Token: "tok-idle", MaxStreams: 1})
+	idle.ReleaseStream()
+	if idle.Streams() != 0 {
+		t.Fatalf("Streams() = %d after spurious release, want 0", idle.Streams())
+	}
+	if !idle.AcquireStream(0) || idle.AcquireStream(0) {
+		t.Fatal("spurious release widened the cap")
+	}
+}
+
+// TestMaxStreamsConfig: the max_streams field round-trips through the
+// file, and a negative value is a validation error like every other
+// limit.
+func TestMaxStreamsConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTenants(t, dir, Limits{Name: "alice", Token: "tok-alice", MaxStreams: 3})
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, ok := r.Lookup("tok-alice")
+	if !ok {
+		t.Fatal("alice not resolved")
+	}
+	for i := 0; i < 3; i++ {
+		if !tn.AcquireStream(1) {
+			t.Fatalf("acquire %d rejected under configured max_streams=3", i)
+		}
+	}
+	if tn.AcquireStream(1) {
+		t.Fatal("configured max_streams=3 not enforced")
+	}
+
+	bad := writeTenants(t, t.TempDir(), Limits{Name: "bob", Token: "tok-bob", MaxStreams: -1})
+	if _, err := Open(bad); err == nil {
+		t.Fatal("negative max_streams accepted")
+	}
+}
