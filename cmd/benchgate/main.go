@@ -32,9 +32,25 @@ type benchBaseline struct {
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 }
 
+// replicatedGate is the cross-benchmark speedup gate: the replicated
+// kernel benchmark (one op = one replica-cycle) must deliver at least
+// MinAggregateSpeedup aggregate cycles/sec over the sequential
+// reference when the runner has 2+ processors to parallelise across.
+// On a single processor replication cannot beat sequential — the gate
+// degrades to SingleProcFloor, a no-pathological-regression bound on
+// the same ratio (lockstep overhead plus the cache footprint of N
+// replica stacks sharing one core).
+type replicatedGate struct {
+	Benchmark           string  `json:"benchmark"`
+	Reference           string  `json:"reference"`
+	MinAggregateSpeedup float64 `json:"min_aggregate_speedup"`
+	SingleProcFloor     float64 `json:"single_proc_floor"`
+}
+
 // baselineFile is the subset of BENCH_kernel.json the gate reads.
 type baselineFile struct {
-	After map[string]benchBaseline `json:"after"`
+	After          map[string]benchBaseline `json:"after"`
+	ReplicatedGate *replicatedGate          `json:"replicated_gate"`
 }
 
 // sample is one parsed benchmark result line.
@@ -42,6 +58,7 @@ type sample struct {
 	nsPerOp     float64
 	allocsPerOp float64
 	hasAllocs   bool
+	procs       int
 }
 
 func main() {
@@ -115,6 +132,33 @@ func realMain() int {
 				name, s.allocsPerOp, b.AllocsPerCycle, allocLimit, status)
 		}
 	}
+	if g := base.ReplicatedGate; g != nil {
+		repl, haveRepl := results[g.Benchmark]
+		ref, haveRef := results[g.Reference]
+		if haveRepl && haveRef {
+			checked++
+			r, s := mean(ref), mean(repl)
+			// One replicated op is one replica-cycle, so the sequential
+			// reference's ns/op over the replicated ns/op is the aggregate
+			// cycles·replicas/sec speedup directly.
+			speedup := r.nsPerOp / s.nsPerOp
+			required := g.MinAggregateSpeedup
+			kind := "aggregate speedup"
+			if s.procs < 2 {
+				// A single-core runner cannot parallelise the replicas; hold
+				// the floor instead of the speedup target.
+				required = g.SingleProcFloor
+				kind = "single-proc floor"
+			}
+			status := "ok"
+			if speedup < required {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("%-24s %.2fx vs %s (procs=%d, %s >= %.2fx)  %s\n",
+				g.Benchmark, speedup, g.Reference, s.procs, kind, required, status)
+		}
+	}
 	if checked == 0 {
 		return fail(fmt.Errorf("no gated benchmark appeared in the input — is the bench step wired correctly?"))
 	}
@@ -139,10 +183,15 @@ func parseBench(r io.Reader) (map[string][]sample, error) {
 			continue
 		}
 		name := fields[0]
+		var s sample
 		if i := strings.LastIndex(name, "-"); i > 0 {
+			// The suffix is the GOMAXPROCS the benchmark ran under; the
+			// replicated gate scales its expectation by it.
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
+				s.procs = n
+			}
 			name = name[:i]
 		}
-		var s sample
 		seen := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -169,13 +218,17 @@ func parseBench(r io.Reader) (map[string][]sample, error) {
 }
 
 // mean averages the samples of one benchmark; allocs are flagged
-// present if any sample carried them.
+// present if any sample carried them, and procs is the highest
+// GOMAXPROCS any sample ran under.
 func mean(samples []sample) sample {
 	var out sample
 	for _, s := range samples {
 		out.nsPerOp += s.nsPerOp
 		out.allocsPerOp += s.allocsPerOp
 		out.hasAllocs = out.hasAllocs || s.hasAllocs
+		if s.procs > out.procs {
+			out.procs = s.procs
+		}
 	}
 	n := float64(len(samples))
 	out.nsPerOp /= n

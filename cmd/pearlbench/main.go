@@ -36,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/models"
 	"repro/internal/server"
+	"repro/internal/stats"
 )
 
 // main defers to realMain so that deferred cleanup — profile writers in
@@ -54,6 +55,7 @@ func realMain() int {
 		jsonOut    = flag.String("json", "", "write machine-readable per-artifact benchmark records (name, iters, ns/op, bytes/op) to this file")
 		md         = flag.Bool("md", false, "emit a single Markdown report (all artifacts + shape checks)")
 		seed       = flag.Uint64("seed", 2018, "experiment seed")
+		seeds      = flag.Int("seeds", 1, "with -sweep: replicate every point over N derived seeds (lockstep when the backend supports it) and report mean ± 95% CI")
 		sweep      = flag.String("sweep", "", "evaluate a named figure sweep ("+strings.Join(experiments.SweepNames(), ", ")+")")
 		cacheOut   = flag.String("cache-out", "", "with -sweep: write results as a pearld cache-warming artifact (JSON)")
 		serverURL  = flag.String("server", "", "with -sweep: submit to a running pearld at this base URL instead of simulating in-process; honors 429/503 Retry-After with bounded backoff")
@@ -120,12 +122,21 @@ func realMain() int {
 		return fail(err)
 	}
 
+	if *seeds < 1 {
+		return fail(fmt.Errorf("-seeds must be at least 1, got %d", *seeds))
+	}
 	if *sweep != "" {
 		if *serverURL != "" {
 			if *cacheOut != "" {
 				return fail(fmt.Errorf("-cache-out needs local results; drop -server (the daemon already caches server-side)"))
 			}
-			if err := runRemoteSweep(w, opts, *sweep, *serverURL, *token, *follow); err != nil {
+			if err := runRemoteSweep(w, opts, *sweep, *serverURL, *token, *follow, *seeds); err != nil {
+				return fail(err)
+			}
+			return 0
+		}
+		if *seeds > 1 {
+			if err := runSweepSeeds(w, opts, *sweep, *cacheOut, *jsonOut, arts, *seeds); err != nil {
 				return fail(err)
 			}
 			return 0
@@ -137,6 +148,9 @@ func realMain() int {
 	}
 	if *serverURL != "" {
 		return fail(fmt.Errorf("-server requires -sweep (remote mode submits figure sweeps as batches)"))
+	}
+	if *seeds > 1 {
+		return fail(fmt.Errorf("-seeds requires -sweep (seed replication runs figure sweeps)"))
 	}
 	if *md {
 		if err := newSuite(opts, arts).WriteMarkdownReport(w); err != nil {
@@ -197,25 +211,9 @@ func loadModelArtifacts(list string) (map[int]*models.Artifact, error) {
 // no matching-window artifact are skipped with a note, like a pearld
 // sweep over a registry that cannot serve them.
 func runSweep(w io.Writer, opts experiments.Options, name, cacheOut string, arts map[int]*models.Artifact) error {
-	all, err := experiments.FigureSweep(name, opts.Pairs)
+	points, err := preparedSweepPoints(w, opts, name, arts)
 	if err != nil {
 		return err
-	}
-	points := all[:0]
-	for _, p := range all {
-		p.Config.WarmupCycles = int(opts.WarmupCycles)
-		p.Config.MeasureCycles = int(opts.MeasureCycles)
-		if p.Backend == "pearl" && p.Config.Power == config.PowerML {
-			art, ok := arts[p.Config.ReservationWindow]
-			if !ok {
-				fmt.Fprintf(w, "%-28s %-12s skipped: no -model artifact for RW%d\n",
-					p.Label, p.Pair.Name(), p.Config.ReservationWindow)
-				continue
-			}
-			p.Predictor = art
-			p.Config.ModelRef = art.Hash
-		}
-		points = append(points, p)
 	}
 	start := time.Now()
 	results, err := experiments.RunSweep(context.Background(), points, opts)
@@ -234,6 +232,41 @@ func runSweep(w io.Writer, opts experiments.Options, name, cacheOut string, arts
 			payload.EnergyPerBitPJ, entries[i].Key)
 	}
 	fmt.Fprintf(w, "sweep %s: %d points in %v\n", name, len(points), time.Since(start).Round(time.Millisecond))
+	return writeCacheEntries(w, cacheOut, entries)
+}
+
+// preparedSweepPoints expands a named sweep, stamps the run lengths
+// into each point's config (the invariant that makes exported cache
+// keys collide with pearld's), and resolves ML points against the
+// -model artifacts — skipping, with a note, the ones no artifact can
+// serve.
+func preparedSweepPoints(w io.Writer, opts experiments.Options, name string, arts map[int]*models.Artifact) ([]experiments.Point, error) {
+	all, err := experiments.FigureSweep(name, opts.Pairs)
+	if err != nil {
+		return nil, err
+	}
+	points := all[:0]
+	for _, p := range all {
+		p.Config.WarmupCycles = int(opts.WarmupCycles)
+		p.Config.MeasureCycles = int(opts.MeasureCycles)
+		if p.Backend == "pearl" && p.Config.Power == config.PowerML {
+			art, ok := arts[p.Config.ReservationWindow]
+			if !ok {
+				fmt.Fprintf(w, "%-28s %-12s skipped: no -model artifact for RW%d\n",
+					p.Label, p.Pair.Name(), p.Config.ReservationWindow)
+				continue
+			}
+			p.Predictor = art
+			p.Config.ModelRef = art.Hash
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// writeCacheEntries writes a pearld cache-warming artifact; a no-op
+// when -cache-out was not given.
+func writeCacheEntries(w io.Writer, cacheOut string, entries []server.CacheEntry) error {
 	if cacheOut == "" {
 		return nil
 	}
@@ -252,6 +285,92 @@ func runSweep(w io.Writer, opts experiments.Options, name, cacheOut string, arts
 	}
 	fmt.Fprintf(w, "wrote %d cache entries to %s\n", len(entries), cacheOut)
 	return nil
+}
+
+// runSweepSeeds is runSweep with every point replicated over n derived
+// seeds: backends that support it run all n as one lockstep simulation
+// (experiments.Run*ReplicatedSeeds); the rest fall back, with a
+// warning, to running the same derived seeds sequentially — same
+// aggregates and cache keys, just slower. Each point prints mean ± 95%
+// CI over its seeds, and -cache-out exports one entry per (point,
+// seed), keys matching what a pearld seeds:n batch would publish.
+func runSweepSeeds(w io.Writer, opts experiments.Options, name, cacheOut, jsonOut string, arts map[int]*models.Artifact, n int) error {
+	points, err := preparedSweepPoints(w, opts, name, arts)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	start := time.Now()
+	var entries []server.CacheEntry
+	var bench []benchRecord
+	for _, p := range points {
+		scale := p.LinkScale
+		if scale < 1 {
+			scale = 1
+		}
+		// Derive the member seeds exactly as pearld's seeds:n batches do:
+		// fold the configuration's canonical name (not the sweep's display
+		// label) and the pair name, so the exported per-seed cache keys
+		// collide with the server's.
+		derivName := p.Config.Name()
+		if p.Backend == "cmesh" {
+			derivName = experiments.CMESHName(scale)
+		}
+		seeds := experiments.ReplicaSeeds(opts.Seed, derivName, p.Pair.Name(), n)
+
+		pstart := time.Now()
+		var results []experiments.Result
+		switch {
+		case p.Backend == "cmesh":
+			results, err = experiments.RunCMESHReplicatedSeeds(ctx, p.Config, p.Pair, opts, seeds, scale)
+		case experiments.CanReplicate(p.Config, p.Predictor) == nil:
+			results, err = experiments.RunPEARLReplicatedSeeds(ctx, p.Config, p.Pair, opts, seeds, p.Predictor)
+		default:
+			rerr := experiments.CanReplicate(p.Config, p.Predictor)
+			fmt.Fprintf(w, "pearlbench: %s %s: lockstep replication unavailable (%v); running %d seeds sequentially\n",
+				p.Label, p.Pair.Name(), rerr, n)
+			results = make([]experiments.Result, 0, n)
+			for _, s := range seeds {
+				o := opts
+				o.Seed = s
+				var res experiments.Result
+				if res, err = experiments.RunPEARLCtx(ctx, p.Config, p.Pair, o, p.Predictor); err != nil {
+					break
+				}
+				results = append(results, res)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("sweep %s point %s %s: %w", name, p.Label, p.Pair.Name(), err)
+		}
+		elapsed := time.Since(pstart)
+
+		var tput, epb stats.Welford
+		for i, res := range results {
+			payload := server.ResultPayload(res)
+			tput.Add(payload.ThroughputBitsPerCycle)
+			epb.Add(payload.EnergyPerBitPJ)
+			entries = append(entries, server.CacheEntry{
+				Key:    server.PointKey(p.Backend, p.Config, p.Pair, seeds[i], scale),
+				Result: payload,
+			})
+		}
+		fmt.Fprintf(w, "%-28s %-12s %10.2f ±%-6.2f bits/cycle  %8.2f ±%-5.2f pJ/bit  (n=%d, 95%% CI)\n",
+			p.Label, p.Pair.Name(), tput.Mean(), tput.CI95(), epb.Mean(), epb.CI95(), n)
+		bench = append(bench, benchRecord{
+			Name:    fmt.Sprintf("sweep_%s_%s_%s_x%d", name, p.Label, p.Pair.Name(), n),
+			Iters:   n,
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(n),
+		})
+	}
+	fmt.Fprintf(w, "sweep %s: %d points x %d seeds in %v\n",
+		name, len(points), n, time.Since(start).Round(time.Millisecond))
+	if jsonOut != "" {
+		if err := writeBenchJSON(jsonOut, bench); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonOut, err)
+		}
+	}
+	return writeCacheEntries(w, cacheOut, entries)
 }
 
 // benchRecord is one artifact's machine-readable timing, mirroring the

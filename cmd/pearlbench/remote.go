@@ -236,7 +236,7 @@ func (c *remoteClient) getJSON(path string, out any) error {
 // With follow the batch's live SSE event feed is streamed — one line
 // per reservation-window sample and per settled point — and the poll
 // loop below only runs as the fallback when the stream dies.
-func runRemoteSweep(w io.Writer, opts experiments.Options, name, serverURL, token string, follow bool) error {
+func runRemoteSweep(w io.Writer, opts experiments.Options, name, serverURL, token string, follow bool, seeds int) error {
 	c := newRemoteClient(serverURL, token, func(format string, args ...any) {
 		fmt.Fprintf(w, format+"\n", args...)
 	})
@@ -245,6 +245,9 @@ func runRemoteSweep(w io.Writer, opts experiments.Options, name, serverURL, toke
 		Seed:          opts.Seed,
 		WarmupCycles:  opts.WarmupCycles,
 		MeasureCycles: opts.MeasureCycles,
+	}
+	if seeds > 1 {
+		req.Seeds = seeds
 	}
 	start := time.Now()
 	var st server.BatchStatus
@@ -293,6 +296,13 @@ func runRemoteSweep(w io.Writer, opts experiments.Options, name, serverURL, toke
 		fmt.Fprintf(w, "%-28s %-12s skipped: %s\n", sk.Label, sk.Pair, sk.Reason)
 	}
 	for _, row := range res.Series {
+		if row.ThroughputStdErr > 0 || row.EnergyPerBitStdErr > 0 {
+			// A seeds:N batch carries dispersion columns per series.
+			fmt.Fprintf(w, "series %-21s %10.2f ±%-6.2f bits/cycle  %8.2f ±%-5.2f pJ/bit  (%d/%d points, 95%% CI)\n",
+				row.Label, row.ThroughputBitsPerCycle, row.ThroughputCI95,
+				row.EnergyPerBitPJ, row.EnergyPerBitCI95, row.Points, row.Expected)
+			continue
+		}
 		fmt.Fprintf(w, "series %-21s %10.2f bits/cycle  %8.2f pJ/bit  (%d/%d points)\n",
 			row.Label, row.ThroughputBitsPerCycle, row.EnergyPerBitPJ, row.Points, row.Expected)
 	}

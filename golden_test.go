@@ -53,6 +53,32 @@ func TestGoldenDynRW500(t *testing.T) {
 	}
 }
 
+// TestGoldenReplicaZero pins the replicated engine's byte-identity
+// contract: replica 0 of a multi-seed lockstep run carries the base
+// seed unchanged and must reproduce the single-run golden values
+// exactly — same numbers, same cache identity.
+func TestGoldenReplicaZero(t *testing.T) {
+	cfg := config.PEARLDyn()
+	pair := traffic.TestPairs()[0]
+	results, err := experiments.RunPEARLReplicated(cfg, pair, goldenOptions(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	res := results[0]
+	if got := res.Metrics.Delivered.TotalBits(); got != 8566400 {
+		t.Errorf("replica 0 delivered bits = %d, golden 8566400", got)
+	}
+	if got := res.Account.AverageLaserPowerW(); math.Abs(got-1.16) > 1e-9 {
+		t.Errorf("replica 0 laser = %v, golden 1.16", got)
+	}
+	if got := res.Metrics.Latency.Mean(); math.Abs(got-86.6041527471) > 1e-9 {
+		t.Errorf("replica 0 latency = %.10f, golden 86.6041527471", got)
+	}
+}
+
 func TestGoldenCMESH(t *testing.T) {
 	res, err := experiments.RunCMESH(config.Default(), traffic.TestPairs()[0], goldenOptions(), 1)
 	if err != nil {

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+func TestReplicaSeedSchema(t *testing.T) {
+	const base = 2018
+	cfg := config.PEARLDyn()
+	pair := traffic.TestPairs()[0]
+
+	if got := ReplicaSeed(base, cfg.Name(), pair.Name(), 0); got != base {
+		t.Fatalf("replica 0 seed = %d, want base %d unchanged", got, base)
+	}
+	// Unlike runSeed (which drops the config name so configurations stay
+	// paired on a workload), the replica fan folds the config name in:
+	// two configs on the same pair must NOT share derived seeds.
+	a := ReplicaSeed(base, config.PEARLDyn().Name(), pair.Name(), 1)
+	b := ReplicaSeed(base, config.PEARLFCFS().Name(), pair.Name(), 1)
+	if a == b {
+		t.Fatalf("config name not folded into derivation: %d == %d", a, b)
+	}
+	// Different pairs, indices, and bases all produce distinct seeds.
+	if a == ReplicaSeed(base, cfg.Name(), traffic.TestPairs()[1].Name(), 1) {
+		t.Fatal("pair name not folded into derivation")
+	}
+	if a == ReplicaSeed(base, cfg.Name(), pair.Name(), 2) {
+		t.Fatal("replica index not folded into derivation")
+	}
+	if a == ReplicaSeed(base+1, cfg.Name(), pair.Name(), 1) {
+		t.Fatal("base seed not folded into derivation")
+	}
+	seeds := ReplicaSeeds(base, cfg.Name(), pair.Name(), 4)
+	if len(seeds) != 4 || seeds[0] != base {
+		t.Fatalf("ReplicaSeeds = %v, want 4 seeds starting at base", seeds)
+	}
+	for i, s := range seeds {
+		if s == 0 {
+			t.Fatalf("seed %d is zero (reserved as default sentinel)", i)
+		}
+		if s != ReplicaSeed(base, cfg.Name(), pair.Name(), i) {
+			t.Fatalf("ReplicaSeeds[%d] disagrees with ReplicaSeed", i)
+		}
+	}
+}
+
+// sameResult asserts bit-identity across every scalar a Result exposes.
+func sameResult(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Name != want.Name || got.Pair.Name() != want.Pair.Name() {
+		t.Fatalf("%s: identity mismatch: (%s,%s) vs (%s,%s)",
+			label, got.Name, got.Pair.Name(), want.Name, want.Pair.Name())
+	}
+	if got.Metrics.Delivered.TotalBits() != want.Metrics.Delivered.TotalBits() {
+		t.Errorf("%s: TotalBits %d != %d", label, got.Metrics.Delivered.TotalBits(), want.Metrics.Delivered.TotalBits())
+	}
+	if got.Metrics.Latency.Mean() != want.Metrics.Latency.Mean() {
+		t.Errorf("%s: latency %v != %v", label, got.Metrics.Latency.Mean(), want.Metrics.Latency.Mean())
+	}
+	if got.Account.AverageLaserPowerW() != want.Account.AverageLaserPowerW() {
+		t.Errorf("%s: laser %v != %v", label, got.Account.AverageLaserPowerW(), want.Account.AverageLaserPowerW())
+	}
+	if got.InjectedCPUShare != want.InjectedCPUShare {
+		t.Errorf("%s: CPU share %v != %v", label, got.InjectedCPUShare, want.InjectedCPUShare)
+	}
+	if got.Retired != want.Retired {
+		t.Errorf("%s: retired %d != %d", label, got.Retired, want.Retired)
+	}
+	if got.TurnOnStalls != want.TurnOnStalls {
+		t.Errorf("%s: turn-on stalls %d != %d", label, got.TurnOnStalls, want.TurnOnStalls)
+	}
+}
+
+func TestReplicatedMatchesSequentialPEARL(t *testing.T) {
+	cfg := config.PEARLDyn()
+	pair := traffic.TestPairs()[0]
+	opts := tiny()
+	const n = 3
+
+	results, err := RunPEARLReplicated(cfg, pair, opts, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	seeds := ReplicaSeeds(opts.Seed, cfg.Name(), pair.Name(), n)
+	for i, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		want, err := RunPEARL(cfg, pair, o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, cfg.Name(), results[i], want)
+	}
+}
+
+func TestReplicatedMatchesSequentialCMESH(t *testing.T) {
+	cfg := config.Default()
+	pair := traffic.TestPairs()[1]
+	opts := tiny()
+	const n, linkScale = 3, 2
+
+	results, err := RunCMESHReplicated(cfg, pair, opts, n, linkScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := ReplicaSeeds(opts.Seed, CMESHName(linkScale), pair.Name(), n)
+	for i, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		want, err := RunCMESH(cfg, pair, o, linkScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "CMESH", results[i], want)
+	}
+}
+
+func TestReplicatedGOMAXPROCSInvariance(t *testing.T) {
+	cfg := config.DynRW(500)
+	pair := traffic.TestPairs()[0]
+	opts := tiny()
+	opts.MeasureCycles = 3000
+	const n = 4
+
+	prev := runtime.GOMAXPROCS(1)
+	one, err1 := RunPEARLReplicated(cfg, pair, opts, n, nil)
+	runtime.GOMAXPROCS(4)
+	four, err4 := RunPEARLReplicated(cfg, pair, opts, n, nil)
+	runtime.GOMAXPROCS(prev)
+	if err1 != nil || err4 != nil {
+		t.Fatal(err1, err4)
+	}
+	for i := range one {
+		sameResult(t, "procs", one[i], four[i])
+	}
+}
+
+func TestReplicatedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPEARLReplicatedCtx(ctx, config.PEARLDyn(), traffic.TestPairs()[0], tiny(), 2, nil); err == nil {
+		t.Fatal("cancelled context should abort the replicated run")
+	}
+}
+
+// replicaSafeStub is a trivially thread-safe predictor for gate tests.
+type replicaSafeStub struct{ core.PredictorFunc }
+
+func (replicaSafeStub) ReplicaSafe() {}
+
+func TestCanReplicate(t *testing.T) {
+	flat := core.PredictorFunc(func([]float64) float64 { return 1 })
+	ml := config.MLRW(500, true)
+	if err := CanReplicate(config.PEARLDyn(), nil); err != nil {
+		t.Errorf("non-ML config should always replicate: %v", err)
+	}
+	if err := CanReplicate(ml, nil); err == nil {
+		t.Error("ML config without predictor must not replicate")
+	}
+	if err := CanReplicate(ml, flat); err == nil {
+		t.Error("unmarked predictor must not replicate")
+	}
+	if err := CanReplicate(ml, replicaSafeStub{flat}); err != nil {
+		t.Errorf("replica-safe predictor rejected: %v", err)
+	}
+	// The marked stub must drive a real replicated ML run end to end.
+	opts := tiny()
+	opts.MeasureCycles = 2000
+	if _, err := RunPEARLReplicated(ml, traffic.TestPairs()[0], opts, 2, replicaSafeStub{flat}); err != nil {
+		t.Errorf("replicated ML run with safe predictor: %v", err)
+	}
+}

@@ -117,33 +117,39 @@ func runCycles(ctx context.Context, engine *sim.Engine, n int64) error {
 	return ctx.Err()
 }
 
-// RunPEARL simulates one photonic configuration on one benchmark pair.
-// predictor may be nil except for PowerML configurations.
-func RunPEARL(cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor) (Result, error) {
-	return RunPEARLCtx(context.Background(), cfg, pair, opts, predictor)
+// replica is one fully constructed simulation stack — engine, network,
+// workload, power account and optional window sampler — ready to run.
+// Both the single-run entry points and the lockstep replicated runner
+// build their stacks through the same replica builders, so the two
+// paths cannot drift: a replica stepped alone IS a single run.
+type replica struct {
+	engine       *sim.Engine
+	startMeasure func()
+	stopMeasure  func(measured int64)
+	finalize     func() Result
 }
 
-// RunPEARLCtx is RunPEARL with cooperative cancellation: the simulation
-// aborts between cycle chunks once ctx is cancelled or its deadline
-// passes, returning the context error. This is the entry point pearld's
-// worker pool uses for in-flight job cancellation.
-func RunPEARLCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor) (Result, error) {
+// buildPEARLReplica constructs one photonic simulation stack. opts.Seed
+// is used as-is (the replicated runner substitutes derived per-replica
+// seeds before calling); tab, when non-nil, shares an exp(-rate) memo
+// with other replicas on the same goroutine.
+func buildPEARLReplica(cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor, tab *traffic.ExpTable) (replica, error) {
 	engine := sim.NewEngine()
 	net, err := core.New(engine, cfg)
 	if err != nil {
-		return Result{}, err
+		return replica{}, err
 	}
 	if cfg.Power == config.PowerML {
 		if predictor == nil {
-			return Result{}, fmt.Errorf("experiments: %s needs a predictor", cfg.Name())
+			return replica{}, fmt.Errorf("experiments: %s needs a predictor", cfg.Name())
 		}
 		net.SetPredictor(predictor)
 	}
 	acct := power.NewAccount(config.NetworkFrequencyHz)
 	net.SetAccount(acct)
-	w, err := traffic.NewWorkload(engine, net, pair, runSeed(opts.Seed, cfg.Name(), pair.Name()))
+	w, err := traffic.NewWorkloadWithExpTable(engine, net, pair, runSeed(opts.Seed, cfg.Name(), pair.Name()), tab)
 	if err != nil {
-		return Result{}, err
+		return replica{}, err
 	}
 	var sampler *windowSampler
 	if opts.OnWindow != nil {
@@ -159,59 +165,82 @@ func RunPEARLCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts
 		// After the network: the sampler reads each cycle's settled state.
 		engine.Register(sampler)
 	}
-
-	if err := runCycles(ctx, engine, opts.WarmupCycles); err != nil {
-		return Result{}, err
-	}
-	net.StartMeasurement()
-	w.StartMeasurement()
-	if sampler != nil {
-		sampler.start(engine.Cycle())
-	}
-	if err := runCycles(ctx, engine, opts.MeasureCycles); err != nil {
-		return Result{}, err
-	}
-	net.StopMeasurement(opts.MeasureCycles)
-	w.StopMeasurement()
-	if sampler != nil {
-		sampler.finish(engine.Cycle())
-	}
-
-	return Result{
-		Name:             cfg.Name(),
-		Pair:             pair,
-		Metrics:          net.Metrics(),
-		Account:          acct,
-		InjectedCPUShare: w.Injected.Share(0),
-		Retired:          w.Retired,
-		TurnOnStalls:     net.AuxCounters().TurnOnStalls,
+	return replica{
+		engine: engine,
+		startMeasure: func() {
+			net.StartMeasurement()
+			w.StartMeasurement()
+			if sampler != nil {
+				sampler.start(engine.Cycle())
+			}
+		},
+		stopMeasure: func(measured int64) {
+			net.StopMeasurement(measured)
+			w.StopMeasurement()
+			if sampler != nil {
+				sampler.finish(engine.Cycle())
+			}
+		},
+		finalize: func() Result {
+			return Result{
+				Name:             cfg.Name(),
+				Pair:             pair,
+				Metrics:          net.Metrics(),
+				Account:          acct,
+				InjectedCPUShare: w.Injected.Share(0),
+				Retired:          w.Retired,
+				TurnOnStalls:     net.AuxCounters().TurnOnStalls,
+			}
+		},
 	}, nil
 }
 
-// RunCMESH simulates the electrical baseline on one benchmark pair.
-// linkScale narrows links for the Figure 5 bandwidth-matched points
-// (1 = 64WL-equivalent bisection).
-func RunCMESH(cfg config.Config, pair traffic.Pair, opts Options, linkScale int) (Result, error) {
-	return RunCMESHCtx(context.Background(), cfg, pair, opts, linkScale)
+// RunPEARL simulates one photonic configuration on one benchmark pair.
+// predictor may be nil except for PowerML configurations.
+func RunPEARL(cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor) (Result, error) {
+	return RunPEARLCtx(context.Background(), cfg, pair, opts, predictor)
 }
 
-// RunCMESHCtx is RunCMESH with cooperative cancellation (see RunPEARLCtx).
-func RunCMESHCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, linkScale int) (Result, error) {
+// RunPEARLCtx is RunPEARL with cooperative cancellation: the simulation
+// aborts between cycle chunks once ctx is cancelled or its deadline
+// passes, returning the context error. This is the entry point pearld's
+// worker pool uses for in-flight job cancellation.
+func RunPEARLCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor) (Result, error) {
+	r, err := buildPEARLReplica(cfg, pair, opts, predictor, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return runReplica(ctx, r, opts)
+}
+
+// runReplica drives one built stack through warmup and measurement.
+func runReplica(ctx context.Context, r replica, opts Options) (Result, error) {
+	if err := runCycles(ctx, r.engine, opts.WarmupCycles); err != nil {
+		return Result{}, err
+	}
+	r.startMeasure()
+	if err := runCycles(ctx, r.engine, opts.MeasureCycles); err != nil {
+		return Result{}, err
+	}
+	r.stopMeasure(opts.MeasureCycles)
+	return r.finalize(), nil
+}
+
+// buildCMESHReplica constructs one electrical-baseline stack (see
+// buildPEARLReplica for the seed and exp-table conventions).
+func buildCMESHReplica(cfg config.Config, pair traffic.Pair, opts Options, linkScale int, tab *traffic.ExpTable) (replica, error) {
 	engine := sim.NewEngine()
 	net, err := cmesh.New(engine, cfg)
 	if err != nil {
-		return Result{}, err
+		return replica{}, err
 	}
 	net.SetLinkScale(linkScale)
 	acct := power.NewAccount(config.NetworkFrequencyHz)
 	net.SetAccount(acct)
-	name := "CMESH"
-	if linkScale > 1 {
-		name = fmt.Sprintf("CMESH(1/%d bw)", linkScale)
-	}
-	w, err := traffic.NewWorkload(engine, net, pair, runSeed(opts.Seed, name, pair.Name()))
+	name := CMESHName(linkScale)
+	w, err := traffic.NewWorkloadWithExpTable(engine, net, pair, runSeed(opts.Seed, name, pair.Name()), tab)
 	if err != nil {
-		return Result{}, err
+		return replica{}, err
 	}
 	var sampler *windowSampler
 	if opts.OnWindow != nil {
@@ -229,32 +258,58 @@ func RunCMESHCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts
 	if sampler != nil {
 		engine.Register(sampler)
 	}
-
-	if err := runCycles(ctx, engine, opts.WarmupCycles); err != nil {
-		return Result{}, err
-	}
-	net.StartMeasurement()
-	w.StartMeasurement()
-	if sampler != nil {
-		sampler.start(engine.Cycle())
-	}
-	if err := runCycles(ctx, engine, opts.MeasureCycles); err != nil {
-		return Result{}, err
-	}
-	net.StopMeasurement(opts.MeasureCycles)
-	w.StopMeasurement()
-	if sampler != nil {
-		sampler.finish(engine.Cycle())
-	}
-
-	return Result{
-		Name:             name,
-		Pair:             pair,
-		Metrics:          net.Metrics(),
-		Account:          acct,
-		InjectedCPUShare: w.Injected.Share(0),
-		Retired:          w.Retired,
+	return replica{
+		engine: engine,
+		startMeasure: func() {
+			net.StartMeasurement()
+			w.StartMeasurement()
+			if sampler != nil {
+				sampler.start(engine.Cycle())
+			}
+		},
+		stopMeasure: func(measured int64) {
+			net.StopMeasurement(measured)
+			w.StopMeasurement()
+			if sampler != nil {
+				sampler.finish(engine.Cycle())
+			}
+		},
+		finalize: func() Result {
+			return Result{
+				Name:             name,
+				Pair:             pair,
+				Metrics:          net.Metrics(),
+				Account:          acct,
+				InjectedCPUShare: w.Injected.Share(0),
+				Retired:          w.Retired,
+			}
+		},
 	}, nil
+}
+
+// CMESHName is the configuration label CMESH runs report (and the name
+// folded into their workload seed derivation).
+func CMESHName(linkScale int) string {
+	if linkScale > 1 {
+		return fmt.Sprintf("CMESH(1/%d bw)", linkScale)
+	}
+	return "CMESH"
+}
+
+// RunCMESH simulates the electrical baseline on one benchmark pair.
+// linkScale narrows links for the Figure 5 bandwidth-matched points
+// (1 = 64WL-equivalent bisection).
+func RunCMESH(cfg config.Config, pair traffic.Pair, opts Options, linkScale int) (Result, error) {
+	return RunCMESHCtx(context.Background(), cfg, pair, opts, linkScale)
+}
+
+// RunCMESHCtx is RunCMESH with cooperative cancellation (see RunPEARLCtx).
+func RunCMESHCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, linkScale int) (Result, error) {
+	r, err := buildCMESHReplica(cfg, pair, opts, linkScale, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return runReplica(ctx, r, opts)
 }
 
 // runSeed derives a deterministic per-run seed from the experiment seed,

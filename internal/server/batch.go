@@ -51,6 +51,13 @@ type BatchRequest struct {
 	// Workloads lists the benchmark pairs. Required without a sweep;
 	// with one, it restricts the sweep to these pairs.
 	Workloads []WorkloadSpec `json:"workloads,omitempty"`
+	// Seeds fans every point out over N derived seeds (see
+	// experiments.ReplicaSeed; 0 or 1 means the single base seed). Each
+	// seed is its own point with its own content-addressed cache entry,
+	// but the members of one (config, pair) execute as a single lockstep
+	// replicated simulation when the backend supports it, and the
+	// results endpoint reports mean ± stderr/CI95 per series.
+	Seeds int `json:"seeds,omitempty"`
 	// CancelOnError cancels every unfinished point as soon as any
 	// point fails.
 	CancelOnError bool `json:"cancel_on_error,omitempty"`
@@ -358,6 +365,7 @@ const feedRetryInterval = 2 * time.Millisecond
 // shutdown it observes the closed queue within one retry interval and
 // exits on its own.
 func (s *Server) feedBatch(deferred []*Job) {
+	deferred = s.coalesceReplicaGroups(deferred)
 	for _, job := range deferred {
 		for {
 			if state, _, _ := job.outcome(); state.Terminal() {
@@ -368,7 +376,10 @@ func (s *Server) feedBatch(deferred []*Job) {
 				break
 			}
 			if closed {
-				if job.cancelIfPending() {
+				// A cancelled replica carrier is bookkeeping, not a point:
+				// its crew members carry the per-tenant cancellation metric
+				// (armCarrier releases them when the carrier goes terminal).
+				if job.cancelIfPending() && len(job.crew) == 0 {
 					s.metrics.jobCancelled(job.tenant)
 				}
 				break
@@ -406,8 +417,22 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid batch: %v", err)
 		return
 	}
-	if len(specs) > maxBatchPoints {
-		httpError(w, http.StatusBadRequest, "batch expands to %d points (limit %d)", len(specs), maxBatchPoints)
+	seeds := req.Seeds
+	if seeds < 0 {
+		httpError(w, http.StatusBadRequest, "seeds must be non-negative, got %d", seeds)
+		return
+	}
+	if seeds == 0 {
+		seeds = 1
+	}
+	if seeds > maxSeedsPerPoint {
+		httpError(w, http.StatusBadRequest, "seeds %d above per-point limit %d", seeds, maxSeedsPerPoint)
+		return
+	}
+	total := len(specs) * seeds
+	if total > maxBatchPoints {
+		httpError(w, http.StatusBadRequest, "batch expands to %d points (%d workloads x %d seeds, limit %d)",
+			total, len(specs), seeds, maxBatchPoints)
 		return
 	}
 	if len(specs) == 0 {
@@ -417,7 +442,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	// Every expanded point counts against the quota, all or nothing —
 	// a batch the quota cannot hold is refused whole rather than
 	// truncated to an arbitrary prefix of its sweep.
-	if !s.acquireSlots(w, tn, len(specs)) {
+	if !s.acquireSlots(w, tn, total) {
 		return
 	}
 
@@ -436,28 +461,45 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	var deferred []*Job
 	allCached := true
 	for _, spec := range specs {
-		s.metrics.jobSubmitted(tn.Name())
-		job := s.buildJob(spec)
-		job.sinks = append(job.sinks, b.events)
-		stampTenant(job, tn, token)
-		b.addJob(job)
-		s.closeFeedOnTerminal(job)
-		job.subscribe(func(j *Job) { b.noteTerminal(s, j) })
-		if b.isCancelled() {
-			// An earlier point already failed and cancel_on_error fired.
-			s.reg.add(job)
-			job.finish(StateCancelled, nil, errors.New("batch cancelled before scheduling"))
-			s.metrics.jobCancelled(job.tenant)
-			allCached = false
-			continue
+		// A seeds:N point fans out into N member jobs with derived seeds,
+		// each a first-class point (own cache key, own lifecycle). Members
+		// of a replicable spec share a group so the feeder can coalesce
+		// whichever ones still need simulating into one lockstep run;
+		// non-replicable specs (ML without a replica-safe predictor)
+		// degrade gracefully to N independent sequential points.
+		var group *replicaGroup
+		if seeds > 1 && spec.canReplicate() == nil {
+			group = newReplicaGroup(spec)
 		}
-		switch s.admit(job, false) {
-		case admitCached:
-		case admitCoalesced:
-			allCached = false
-		case admitDeferred:
-			allCached = false
-			deferred = append(deferred, job)
+		for i := 0; i < seeds; i++ {
+			mspec := spec
+			if seeds > 1 {
+				mspec.seed = spec.replicaSeed(i)
+			}
+			s.metrics.jobSubmitted(tn.Name())
+			job := s.buildJob(mspec)
+			job.group = group
+			job.sinks = append(job.sinks, b.events)
+			stampTenant(job, tn, token)
+			b.addJob(job)
+			s.closeFeedOnTerminal(job)
+			job.subscribe(func(j *Job) { b.noteTerminal(s, j) })
+			if b.isCancelled() {
+				// An earlier point already failed and cancel_on_error fired.
+				s.reg.add(job)
+				job.finish(StateCancelled, nil, errors.New("batch cancelled before scheduling"))
+				s.metrics.jobCancelled(job.tenant)
+				allCached = false
+				continue
+			}
+			switch s.admit(job, false) {
+			case admitCached:
+			case admitCoalesced:
+				allCached = false
+			case admitDeferred:
+				allCached = false
+				deferred = append(deferred, job)
+			}
 		}
 	}
 	// Progress subscribers attach only after every member exists, so

@@ -43,6 +43,10 @@ type metrics struct {
 	eventsEmitted uint64
 	eventsDropped uint64
 	streamsOpen   int
+	// Replicated execution: lockstep groups run to completion and the
+	// seed members those runs settled.
+	replicaGroups uint64
+	replicaSeeds  uint64
 	busy          int
 	workers       int
 	latency       *stats.Histogram // seconds per completed job
@@ -165,7 +169,16 @@ func (m *metrics) streamClosed(tn string) {
 }
 
 func (m *metrics) batchSubmitted() { m.mu.Lock(); m.batches++; m.mu.Unlock() }
-func (m *metrics) modelUploaded()  { m.mu.Lock(); m.uploads++; m.mu.Unlock() }
+
+// replicaGroupDone records one lockstep group run to successful
+// completion with the given number of live seed members.
+func (m *metrics) replicaGroupDone(seeds int) {
+	m.mu.Lock()
+	m.replicaGroups++
+	m.replicaSeeds += uint64(seeds)
+	m.mu.Unlock()
+}
+func (m *metrics) modelUploaded() { m.mu.Lock(); m.uploads++; m.mu.Unlock() }
 
 func (m *metrics) cacheMissed(tn string) {
 	m.mu.Lock()
@@ -284,6 +297,10 @@ type MetricsSnapshot struct {
 	EventsEmitted uint64 `json:"events_emitted"`
 	EventsDropped uint64 `json:"events_dropped"`
 	StreamsOpen   int    `json:"streams_open"`
+	// Replicated execution: seeds:N groups run as one lockstep
+	// simulation, and the per-seed members those runs settled.
+	ReplicaGroupsExecuted uint64 `json:"replica_groups_executed"`
+	ReplicaSeedsSimulated uint64 `json:"replica_seeds_simulated"`
 	// Multi-tenant attribution: configured tenant count, lifetime 429s,
 	// and the per-tenant breakdown keyed by tenant name.
 	TenantsConfigured int                       `json:"tenants_configured"`
@@ -377,6 +394,9 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int,
 		EventsEmitted: m.eventsEmitted,
 		EventsDropped: m.eventsDropped,
 		StreamsOpen:   m.streamsOpen,
+
+		ReplicaGroupsExecuted: m.replicaGroups,
+		ReplicaSeedsSimulated: m.replicaSeeds,
 
 		TenantsConfigured: tg.configured,
 		JobsThrottled:     m.throttled,

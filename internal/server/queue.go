@@ -49,6 +49,13 @@ type Job struct {
 	events *eventRing
 	sinks  []*eventRing
 
+	// group links a seeds:N batch member to its replica group (nil for
+	// ordinary jobs); crew, on a replica-carrier job, lists the member
+	// jobs one lockstep run settles. Both are fixed before the job is
+	// shared with any other goroutine, so they need no lock.
+	group *replicaGroup
+	crew  []*Job
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -194,11 +201,16 @@ func (j *Job) markRunning() bool {
 	return true
 }
 
-// finish records the terminal state, releasing the job's context.
-func (j *Job) finish(state JobState, result *JobResult, err error) {
+// finish records the terminal state, releasing the job's context. It
+// reports whether this call settled the job — false when it was already
+// terminal (a replica member cancelled mid-run, say), so callers can
+// attribute outcome metrics exactly once.
+func (j *Job) finish(state JobState, result *JobResult, err error) bool {
 	j.mu.Lock()
 	var subs []func(*Job)
+	settled := false
 	if !j.state.Terminal() {
+		settled = true
 		j.state = state
 		j.result = result
 		j.err = err
@@ -208,6 +220,7 @@ func (j *Job) finish(state JobState, result *JobResult, err error) {
 	j.mu.Unlock()
 	j.cancel()
 	notify(j, subs)
+	return settled
 }
 
 // finishCached marks a job resolved from the result cache (or a

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/models"
+)
+
+// Server-side replicated execution: a batch point with seeds: N expands
+// into N member jobs — one per derived seed, each with its own
+// content-addressed cache key — that the feeder coalesces back into ONE
+// lockstep simulation per group. The carrier job that rides the queue
+// is invisible to the API: members keep their individual lifecycles
+// (cache hits, singleflight coalescing, cancellation, per-seed cache
+// entries), the carrier only owns the worker slot and the shared run.
+
+// A hosted model artifact is immutable once loaded, so lockstep
+// replicas may share it across worker goroutines.
+var _ experiments.ReplicaSafePredictor = (*models.Artifact)(nil)
+
+// maxSeedsPerPoint bounds one batch point's seed fan-out.
+const maxSeedsPerPoint = 32
+
+// replicaGroup ties the member jobs of one seeds:N point together. key
+// is the base spec's content hash — the shard router hashes it so every
+// member of a group lands on the same peer.
+type replicaGroup struct {
+	base jobSpec
+	key  string
+}
+
+func newReplicaGroup(base jobSpec) *replicaGroup {
+	return &replicaGroup{base: base, key: base.cacheKey()}
+}
+
+// shardKey is the hash the shard router partitions the job by: the
+// replica group's key for grouped members (keeping a group on one
+// peer), the job's own cache key otherwise.
+func (j *Job) shardKey() string {
+	if j.group != nil {
+		return j.group.key
+	}
+	return j.key
+}
+
+// canReplicate reports whether the spec's backend/policy combination
+// supports lockstep replication (see experiments.CanReplicate).
+func (s jobSpec) canReplicate() error {
+	if s.backend == BackendCMESH {
+		return nil
+	}
+	return experiments.CanReplicate(s.cfg, s.predictor)
+}
+
+// runReplicated executes one lockstep run over the given seeds,
+// mirroring jobSpec.run for the replicated entry points. Results come
+// back in seed order.
+func (s jobSpec) runReplicated(ctx context.Context, seeds []uint64, onWindow func(experiments.WindowStats)) ([]experiments.Result, error) {
+	opts := s.options()
+	opts.OnWindow = onWindow
+	if s.backend == BackendCMESH {
+		return experiments.RunCMESHReplicatedSeeds(ctx, s.cfg, s.pair, opts, seeds, s.linkScale)
+	}
+	return experiments.RunPEARLReplicatedSeeds(ctx, s.cfg, s.pair, opts, seeds, s.predictor)
+}
+
+// replicaSeed derives the base seed of the i-th member of a seeds:N
+// point (see experiments.ReplicaSeed for the schema and its cache-key
+// consequence: a derived seed is a first-class seed, so a member's
+// cache entry is exactly the one a standalone run of that seed would
+// produce).
+func (s jobSpec) replicaSeed(i int) uint64 {
+	return experiments.ReplicaSeed(s.seed, s.label(), s.pair.Name(), i)
+}
+
+// coalesceReplicaGroups rewrites a deferred job list so that members of
+// the same replica group ride the queue as ONE carrier job. Members
+// that already settled elsewhere (cache hits, singleflight followers)
+// never reach this list, so the crew is exactly the members that still
+// need simulating; a group reduced to one member stays a plain job.
+// Order is preserved by the first member's position.
+func (s *Server) coalesceReplicaGroups(deferred []*Job) []*Job {
+	carriers := make(map[*replicaGroup]*Job)
+	out := make([]*Job, 0, len(deferred))
+	for _, job := range deferred {
+		if job.group == nil {
+			out = append(out, job)
+			continue
+		}
+		if c, ok := carriers[job.group]; ok {
+			c.crew = append(c.crew, job)
+			continue
+		}
+		c := newJob(fmt.Sprintf("replica-%06d", s.nextID.Add(1)), job.group.base, s.rootCtx)
+		c.setTenant(job.tenant, job.token, job.weight)
+		c.crew = []*Job{job}
+		carriers[job.group] = c
+		out = append(out, c)
+	}
+	// Only carriers built above have a crew; deferred member jobs never
+	// do.
+	for i, job := range out {
+		switch {
+		case len(job.crew) == 0:
+		case len(job.crew) == 1:
+			// Alone after cache/coalesce attrition: run it as the plain
+			// member job it is.
+			out[i] = job.crew[0]
+		default:
+			s.armCarrier(job)
+		}
+	}
+	return out
+}
+
+// armCarrier wires the carrier's lifecycle to its crew: when every
+// member reaches a terminal state on its own (batch cancellation,
+// drain), a still-queued carrier cancels itself rather than waste a
+// worker slot; and a carrier cancelled before running (queue closed
+// under it) releases any members still pending.
+func (s *Server) armCarrier(carrier *Job) {
+	remaining := int64(len(carrier.crew))
+	for _, m := range carrier.crew {
+		m.subscribe(func(*Job) {
+			if atomic.AddInt64(&remaining, -1) == 0 {
+				carrier.Cancel()
+			}
+		})
+	}
+	carrier.subscribe(func(c *Job) {
+		if state, _, _ := c.outcome(); state != StateCancelled {
+			return
+		}
+		for _, m := range c.crew {
+			if m.cancelIfPending() {
+				s.metrics.jobCancelled(m.tenant)
+			}
+		}
+	})
+}
+
+// runReplicatedJob drives one carrier from claimed to terminal: a
+// single lockstep simulation whose per-seed results settle every live
+// member (and publish every member's per-seed cache entry). Members
+// cancelled before the run starts are skipped; members cancelled
+// mid-run still get their result cached — the simulation ran — but
+// finish cancelled.
+func (s *Server) runReplicatedJob(carrier *Job) {
+	if !carrier.markRunning() {
+		return
+	}
+	s.metrics.jobStarted()
+	defer s.metrics.workerIdle()
+
+	var live []*Job
+	for _, m := range carrier.crew {
+		if m.markRunning() {
+			live = append(live, m)
+		}
+	}
+	if len(live) == 0 {
+		carrier.finish(StateCancelled, nil, errors.New("every replica member settled before the run started"))
+		return
+	}
+	seeds := make([]uint64, len(live))
+	for i, m := range live {
+		seeds[i] = m.spec.seed
+	}
+
+	spec := carrier.spec
+	ctx := carrier.ctx
+	timeout := spec.timeout * time.Duration(len(live))
+	if spec.timeout > 0 {
+		// The carrier simulates len(live) seeds' worth of cycles, so its
+		// wall-clock budget scales with the crew.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	results, err := spec.runReplicated(ctx, seeds,
+		func(ws experiments.WindowStats) { s.emitWindow(live[0], ws) })
+	elapsed := time.Since(start)
+
+	switch {
+	case err == nil:
+		perSeed := elapsed / time.Duration(len(live))
+		cycles := uint64(spec.warmup) + uint64(spec.measure)
+		for i, m := range live {
+			payload := newJobResult(results[i])
+			// Publish BEFORE finishing, mirroring runJob's exactly-once
+			// invariant: a duplicate admitted after the flight entry drops
+			// must find the result in the cache.
+			s.store(m.key, payload)
+			if m.ctx.Err() != nil {
+				if m.finish(StateCancelled, nil, errors.New("cancelled while running")) {
+					s.metrics.jobCancelled(m.tenant)
+				}
+				continue
+			}
+			if m.finish(StateDone, payload, nil) {
+				s.metrics.jobCompleted(m.tenant, perSeed, cycles)
+			}
+		}
+		carrier.finish(StateDone, nil, nil)
+		s.metrics.replicaGroupDone(len(live))
+	case errors.Is(err, context.Canceled):
+		for _, m := range live {
+			if m.finish(StateCancelled, nil, errors.New("cancelled while running")) {
+				s.metrics.jobCancelled(m.tenant)
+			}
+		}
+		carrier.finish(StateCancelled, nil, errors.New("cancelled while running"))
+	case errors.Is(err, context.DeadlineExceeded):
+		terr := fmt.Errorf("timed out after %v", timeout)
+		for _, m := range live {
+			if m.finish(StateFailed, nil, terr) {
+				s.metrics.jobFailed(m.tenant)
+			}
+		}
+		carrier.finish(StateFailed, nil, terr)
+	default:
+		for _, m := range live {
+			if m.finish(StateFailed, nil, err) {
+				s.metrics.jobFailed(m.tenant)
+			}
+		}
+		carrier.finish(StateFailed, nil, err)
+	}
+}

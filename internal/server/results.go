@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // PointResult is one batch point in the results payload: the figure
@@ -37,6 +39,16 @@ type SeriesRow struct {
 	MeanLatencyCycles      float64 `json:"mean_latency_cycles"`
 	AvgLaserPowerW         float64 `json:"avg_laser_power_w"`
 	EnergyPerBitPJ         float64 `json:"energy_per_bit_pj"`
+	// Dispersion across the finished points: standard error of the mean
+	// and its 95% confidence half-width. Only meaningful — and only
+	// emitted — with two or more finished points, which a seeds:N batch
+	// guarantees per label; a plain one-seed batch omits them.
+	ThroughputStdErr   float64 `json:"throughput_stderr,omitempty"`
+	ThroughputCI95     float64 `json:"throughput_ci95,omitempty"`
+	LatencyStdErr      float64 `json:"latency_stderr,omitempty"`
+	LatencyCI95        float64 `json:"latency_ci95,omitempty"`
+	EnergyPerBitStdErr float64 `json:"energy_per_bit_stderr,omitempty"`
+	EnergyPerBitCI95   float64 `json:"energy_per_bit_ci95,omitempty"`
 }
 
 // BatchResults is the GET /v1/batches/{id}/results payload.
@@ -62,6 +74,9 @@ func seriesRows(jobs []*Job) []SeriesRow {
 	type acc struct {
 		row   SeriesRow
 		order int
+		// Welford accumulators for the dispersion columns; the means
+		// stay plain sums so existing single-seed rows are bit-stable.
+		tput, lat, epb stats.Welford
 	}
 	series := make(map[string]*acc)
 	order := 0
@@ -81,6 +96,9 @@ func seriesRows(jobs []*Job) []SeriesRow {
 			a.row.MeanLatencyCycles += res.MeanLatencyCycles
 			a.row.AvgLaserPowerW += res.AvgLaserPowerW
 			a.row.EnergyPerBitPJ += res.EnergyPerBitPJ
+			a.tput.Add(res.ThroughputBitsPerCycle)
+			a.lat.Add(res.MeanLatencyCycles)
+			a.epb.Add(res.EnergyPerBitPJ)
 		}
 	}
 	rows := make([]*acc, 0, len(series))
@@ -91,6 +109,14 @@ func seriesRows(jobs []*Job) []SeriesRow {
 			a.row.MeanLatencyCycles /= n
 			a.row.AvgLaserPowerW /= n
 			a.row.EnergyPerBitPJ /= n
+		}
+		if a.row.Points >= 2 {
+			a.row.ThroughputStdErr = a.tput.StdErr()
+			a.row.ThroughputCI95 = a.tput.CI95()
+			a.row.LatencyStdErr = a.lat.StdErr()
+			a.row.LatencyCI95 = a.lat.CI95()
+			a.row.EnergyPerBitStdErr = a.epb.StdErr()
+			a.row.EnergyPerBitCI95 = a.epb.CI95()
 		}
 		rows = append(rows, a)
 	}

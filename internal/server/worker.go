@@ -39,6 +39,11 @@ func (s *Server) worker() {
 // runJob drives one job from claimed to terminal, keeping the metrics
 // and result cache consistent with the observed outcome.
 func (s *Server) runJob(job *Job) {
+	if len(job.crew) > 0 {
+		// A replica carrier: one lockstep run settles its whole crew.
+		s.runReplicatedJob(job)
+		return
+	}
 	if !job.markRunning() {
 		// Cancelled while queued; already counted and terminal.
 		return

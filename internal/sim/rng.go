@@ -34,6 +34,16 @@ func splitMix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 is the SplitMix64 finalizer: a cheap bijective avalanche over
+// 64 bits. Seed-derivation schemes (replica seed fans, stream
+// splitting) fold their inputs with a weak hash and pass the result
+// through Mix64 so nearby inputs land on uncorrelated seeds.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // NewRNG returns a generator deterministically derived from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}

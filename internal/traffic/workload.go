@@ -35,7 +35,11 @@ type Target interface {
 type generator struct {
 	router  int
 	profile Profile
-	rng     *sim.RNG
+	// rng is embedded by value: the 32 generators of a workload live in
+	// one contiguous array (see Workload.gens), so a replica's whole
+	// traffic state walks the cache linearly instead of chasing per-
+	// generator pointers.
+	rng sim.RNG
 
 	bursting    bool
 	level       float64 // burst intensity in [0,1], ramping up/down
@@ -54,7 +58,11 @@ type generator struct {
 	// single-entry cache above: a ramping burst walks the same ladder of
 	// float rate values on every burst (each value recurs dozens of times
 	// per million cycles), so most rate changes hit the table instead of
-	// math.Exp.
+	// math.Exp. The slice aliases a table shared by every generator of
+	// the workload (and, in replicated runs, by co-scheduled replicas of
+	// the same pair): the memo is value-transparent — a slot is only
+	// consumed when its stored rate matches exactly — so sharing changes
+	// which lookups miss, never what any lookup returns.
 	expTab []expEntry
 	// rampStep and rateSpan precompute 1/RampCycles and
 	// BurstRate-BaseRate; both are bit-identical to computing them inline
@@ -71,8 +79,26 @@ type expEntry struct {
 	exp  float64
 }
 
-// expTabBits sizes the per-generator exp cache (2^11 = 2048 slots, 32 KiB).
+// expTabBits sizes the shared exp cache (2^11 = 2048 slots, 32 KiB).
 const expTabBits = 11
+
+// ExpTable is a shareable exp(-rate) memo. One table serves all 32
+// generators of a workload (the burst-rate ladders of a pair's two
+// profiles fit 2048 slots with room to spare), replacing the former
+// per-generator tables — 32 KiB per workload instead of 1 MiB. A
+// lockstep replica set goes further and hands the same table to every
+// replica a worker lane steps (same goroutine, so unsynchronised
+// access is safe): the first replica warms the ladder, the rest hit.
+// Sharing is bit-transparent because a slot is re-verified against the
+// exact rate before its cached exponential is consumed.
+type ExpTable struct {
+	slots []expEntry
+}
+
+// NewExpTable allocates an empty shared memo.
+func NewExpTable() *ExpTable {
+	return &ExpTable{slots: make([]expEntry, 1<<expTabBits)}
+}
 
 // tickDemand advances the burst chain and returns this cycle's new
 // demands. Bursts ramp to full intensity over RampCycles (kernels
@@ -125,7 +151,11 @@ type Workload struct {
 	target Target
 	pair   Pair
 
-	gens   [config.NumClusterRouters][noc.NumClasses]*generator
+	// gens holds the generators by value: one contiguous block of
+	// demand-process state (burst chains, MSHR windows, embedded RNG
+	// streams) per workload, which is what lets a replicated run lay N
+	// seeds' traffic state out back to back.
+	gens   [config.NumClusterRouters][noc.NumClasses]generator
 	rng    *sim.RNG
 	nextID uint64
 
@@ -159,6 +189,15 @@ type Workload struct {
 // must register the returned workload with the engine before the network
 // so demand is injected ahead of router arbitration each cycle.
 func NewWorkload(engine *sim.Engine, target Target, pair Pair, seed uint64) (*Workload, error) {
+	return NewWorkloadWithExpTable(engine, target, pair, seed, nil)
+}
+
+// NewWorkloadWithExpTable is NewWorkload with an explicit shared
+// exp(-rate) memo; nil allocates a fresh one. The table must only be
+// shared between workloads that tick on the same goroutine (lockstep
+// replicas on one worker lane) — it is a plain memo with no
+// synchronisation. Sharing never changes results, only memo hit rates.
+func NewWorkloadWithExpTable(engine *sim.Engine, target Target, pair Pair, seed uint64, tab *ExpTable) (*Workload, error) {
 	if err := pair.CPU.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,24 +207,30 @@ func NewWorkload(engine *sim.Engine, target Target, pair Pair, seed uint64) (*Wo
 	if pair.CPU.Class != noc.ClassCPU || pair.GPU.Class != noc.ClassGPU {
 		return nil, fmt.Errorf("traffic: pair %s has mismatched classes", pair.Name())
 	}
+	if tab == nil {
+		tab = NewExpTable()
+	}
 	w := &Workload{engine: engine, target: target, pair: pair, rng: sim.NewRNG(seed)}
 	for r := 0; r < config.NumClusterRouters; r++ {
-		w.gens[r][noc.ClassCPU] = newGenerator(r, pair.CPU, w.rng.Fork())
-		w.gens[r][noc.ClassGPU] = newGenerator(r, pair.GPU, w.rng.Fork())
+		w.gens[r][noc.ClassCPU].init(r, pair.CPU, w.rng.Fork(), tab)
+		w.gens[r][noc.ClassGPU].init(r, pair.GPU, w.rng.Fork(), tab)
 	}
 	return w, nil
 }
 
-func newGenerator(router int, profile Profile, rng *sim.RNG) *generator {
-	g := &generator{
-		router: router, profile: profile, rng: rng,
-		expFor: math.NaN(), expTab: make([]expEntry, 1<<expTabBits),
-	}
+// init fills one in-place generator slot. rng's state is copied in by
+// value: the fork happens in the same order NewWorkload always forked,
+// so the draw sequences are unchanged.
+func (g *generator) init(router int, profile Profile, rng *sim.RNG, tab *ExpTable) {
+	g.router = router
+	g.profile = profile
+	g.rng = *rng
+	g.expFor = math.NaN()
+	g.expTab = tab.slots
 	if profile.RampCycles != 0 {
 		g.rampStep = 1 / float64(profile.RampCycles)
 	}
 	g.rateSpan = profile.BurstRate - profile.BaseRate
-	return g
 }
 
 // StartMeasurement begins counting injections (end of warmup).
@@ -200,7 +245,7 @@ func (w *Workload) Tick(cycle int64) {
 	w.drainResponses(cycle)
 	for r := 0; r < config.NumClusterRouters; r++ {
 		for class := 0; class < noc.NumClasses; class++ {
-			g := w.gens[r][class]
+			g := &w.gens[r][class]
 			demand := g.tickDemand()
 			g.pending += demand
 			if over := g.pending - g.profile.MaxPending; over > 0 {
@@ -314,7 +359,7 @@ func (w *Workload) originGenerator(p *noc.Packet) *generator {
 	if !p.Reply {
 		return nil
 	}
-	return w.gens[p.Dst][p.Class]
+	return &w.gens[p.Dst][p.Class]
 }
 
 // scheduleResponse models the destination's service time, then injects the
