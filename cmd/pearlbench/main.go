@@ -32,7 +32,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/config"
+	"repro/internal/controller"
 	"repro/internal/experiments"
 	"repro/internal/models"
 	"repro/internal/server"
@@ -57,6 +57,7 @@ func realMain() int {
 		seed       = flag.Uint64("seed", 2018, "experiment seed")
 		seeds      = flag.Int("seeds", 1, "with -sweep: replicate every point over N derived seeds (lockstep when the backend supports it) and report mean ± 95% CI")
 		sweep      = flag.String("sweep", "", "evaluate a named figure sweep ("+strings.Join(experiments.SweepNames(), ", ")+")")
+		policy     = flag.String("policy", "", "with -sweep: run every photonic point under the named registered controller ("+strings.Join(controller.Names(), ", ")+")")
 		cacheOut   = flag.String("cache-out", "", "with -sweep: write results as a pearld cache-warming artifact (JSON)")
 		serverURL  = flag.String("server", "", "with -sweep: submit to a running pearld at this base URL instead of simulating in-process; honors 429/503 Retry-After with bounded backoff")
 		token      = flag.String("token", "", "API token for -server (tenant bearer token)")
@@ -125,6 +126,14 @@ func realMain() int {
 	if *seeds < 1 {
 		return fail(fmt.Errorf("-seeds must be at least 1, got %d", *seeds))
 	}
+	if *policy != "" {
+		if _, ok := controller.Lookup(*policy); !ok {
+			return fail(fmt.Errorf("unknown -policy %q (registered: %s)", *policy, strings.Join(controller.Names(), ", ")))
+		}
+		if *sweep == "" {
+			return fail(fmt.Errorf("-policy requires -sweep (it overrides the sweep's photonic points)"))
+		}
+	}
 	if *sweep != "" {
 		if *serverURL != "" {
 			if *cacheOut != "" {
@@ -136,12 +145,12 @@ func realMain() int {
 			return 0
 		}
 		if *seeds > 1 {
-			if err := runSweepSeeds(w, opts, *sweep, *cacheOut, *jsonOut, arts, *seeds); err != nil {
+			if err := runSweepSeeds(w, opts, *sweep, *policy, *cacheOut, *jsonOut, arts, *seeds); err != nil {
 				return fail(err)
 			}
 			return 0
 		}
-		if err := runSweep(w, opts, *sweep, *cacheOut, arts); err != nil {
+		if err := runSweep(w, opts, *sweep, *policy, *cacheOut, arts); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -210,8 +219,8 @@ func loadModelArtifacts(list string) (map[int]*models.Artifact, error) {
 // match the server's keys for the same model version. ML points with
 // no matching-window artifact are skipped with a note, like a pearld
 // sweep over a registry that cannot serve them.
-func runSweep(w io.Writer, opts experiments.Options, name, cacheOut string, arts map[int]*models.Artifact) error {
-	points, err := preparedSweepPoints(w, opts, name, arts)
+func runSweep(w io.Writer, opts experiments.Options, name, policy, cacheOut string, arts map[int]*models.Artifact) error {
+	points, err := preparedSweepPoints(w, opts, name, policy, arts)
 	if err != nil {
 		return err
 	}
@@ -237,10 +246,14 @@ func runSweep(w io.Writer, opts experiments.Options, name, cacheOut string, arts
 
 // preparedSweepPoints expands a named sweep, stamps the run lengths
 // into each point's config (the invariant that makes exported cache
-// keys collide with pearld's), and resolves ML points against the
-// -model artifacts — skipping, with a note, the ones no artifact can
-// serve.
-func preparedSweepPoints(w io.Writer, opts experiments.Options, name string, arts map[int]*models.Artifact) ([]experiments.Point, error) {
+// keys collide with pearld's), applies the -policy override to photonic
+// points, and builds each point's controller — resolving model-needing
+// ones against the -model artifacts and skipping, with a note, the ones
+// no artifact can serve. The artifact's content hash is pinned into the
+// point's ModelRef before keying (mirroring pearld's resolution), so
+// exported cache entries match the server's keys for the same model
+// version.
+func preparedSweepPoints(w io.Writer, opts experiments.Options, name, policy string, arts map[int]*models.Artifact) ([]experiments.Point, error) {
 	all, err := experiments.FigureSweep(name, opts.Pairs)
 	if err != nil {
 		return nil, err
@@ -249,15 +262,32 @@ func preparedSweepPoints(w io.Writer, opts experiments.Options, name string, art
 	for _, p := range all {
 		p.Config.WarmupCycles = int(opts.WarmupCycles)
 		p.Config.MeasureCycles = int(opts.MeasureCycles)
-		if p.Backend == "pearl" && p.Config.Power == config.PowerML {
-			art, ok := arts[p.Config.ReservationWindow]
-			if !ok {
-				fmt.Fprintf(w, "%-28s %-12s skipped: no -model artifact for RW%d\n",
-					p.Label, p.Pair.Name(), p.Config.ReservationWindow)
-				continue
+		if p.Backend == "pearl" {
+			if policy != "" {
+				cspec, ok := controller.Lookup(policy)
+				if !ok {
+					return nil, fmt.Errorf("unknown -policy %q (registered: %s)", policy, strings.Join(controller.Names(), ", "))
+				}
+				p.Config.Power = cspec.Power
+				// The row now runs the override, not the figure's
+				// original policy — relabel so the table says so.
+				p.Label = p.Config.Name()
 			}
-			p.Predictor = art
-			p.Config.ModelRef = art.Hash
+			var art *models.Artifact
+			if cspec, ok := controller.ForPower(p.Config.Power); ok && cspec.Caps.NeedsModel {
+				art, ok = arts[p.Config.ReservationWindow]
+				if !ok {
+					fmt.Fprintf(w, "%-28s %-12s skipped: no -model artifact for RW%d\n",
+						p.Label, p.Pair.Name(), p.Config.ReservationWindow)
+					continue
+				}
+				p.Config.ModelRef = art.Hash
+			}
+			ctrl, err := controller.New(p.Config, art)
+			if err != nil {
+				return nil, fmt.Errorf("point %s: %w", p.Label, err)
+			}
+			p.Controller = ctrl
 		}
 		points = append(points, p)
 	}
@@ -294,8 +324,8 @@ func writeCacheEntries(w io.Writer, cacheOut string, entries []server.CacheEntry
 // aggregates and cache keys, just slower. Each point prints mean ± 95%
 // CI over its seeds, and -cache-out exports one entry per (point,
 // seed), keys matching what a pearld seeds:n batch would publish.
-func runSweepSeeds(w io.Writer, opts experiments.Options, name, cacheOut, jsonOut string, arts map[int]*models.Artifact, n int) error {
-	points, err := preparedSweepPoints(w, opts, name, arts)
+func runSweepSeeds(w io.Writer, opts experiments.Options, name, policy, cacheOut, jsonOut string, arts map[int]*models.Artifact, n int) error {
+	points, err := preparedSweepPoints(w, opts, name, policy, arts)
 	if err != nil {
 		return err
 	}
@@ -323,10 +353,10 @@ func runSweepSeeds(w io.Writer, opts experiments.Options, name, cacheOut, jsonOu
 		switch {
 		case p.Backend == "cmesh":
 			results, err = experiments.RunCMESHReplicatedSeeds(ctx, p.Config, p.Pair, opts, seeds, scale)
-		case experiments.CanReplicate(p.Config, p.Predictor) == nil:
-			results, err = experiments.RunPEARLReplicatedSeeds(ctx, p.Config, p.Pair, opts, seeds, p.Predictor)
+		case experiments.CanReplicate(p.Config, p.Controller) == nil:
+			results, err = experiments.RunPEARLReplicatedSeeds(ctx, p.Config, p.Pair, opts, seeds, p.Controller)
 		default:
-			rerr := experiments.CanReplicate(p.Config, p.Predictor)
+			rerr := experiments.CanReplicate(p.Config, p.Controller)
 			fmt.Fprintf(w, "pearlbench: %s %s: lockstep replication unavailable (%v); running %d seeds sequentially\n",
 				p.Label, p.Pair.Name(), rerr, n)
 			results = make([]experiments.Result, 0, n)
@@ -334,7 +364,7 @@ func runSweepSeeds(w io.Writer, opts experiments.Options, name, cacheOut, jsonOu
 				o := opts
 				o.Seed = s
 				var res experiments.Result
-				if res, err = experiments.RunPEARLCtx(ctx, p.Config, p.Pair, o, p.Predictor); err != nil {
+				if res, err = experiments.RunPEARLCtx(ctx, p.Config, p.Pair, o, p.Controller); err != nil {
 					break
 				}
 				results = append(results, res)

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/models"
@@ -98,7 +99,11 @@ func run(configName, cpuBench, gpuBench string, cycles, warmup int64, seed uint6
 	if timeline {
 		return runTimeline(cfg, pair, opts, model)
 	}
-	res, err := experiments.RunPEARL(cfg, pair, opts, model)
+	ctrl, err := controller.New(cfg, model)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunPEARL(cfg, pair, opts, ctrl)
 	if err != nil {
 		return err
 	}

@@ -143,6 +143,20 @@ const (
 	// PowerML replaces steps 6-8 with the ridge-regression predictor of
 	// injected packets (§III.D).
 	PowerML
+	// PowerProteus is the PROTEUS-style rule-based loss-aware laser
+	// power/performance co-management comparison point: hysteresis over
+	// per-state link utilisation instead of the Algorithm 1 thresholds.
+	PowerProteus
+	// PowerD3NOC is the D3NOC-style data-driven reconfiguration
+	// comparison point: an EWMA demand estimate picks the cheapest
+	// covering state.
+	PowerD3NOC
+	// PowerOnline is the online recursive-least-squares learner that
+	// starts cold and adapts during the run (no offline training).
+	PowerOnline
+	// PowerRL is the tabular Q-learning extension choosing states from
+	// discretised congestion observations.
+	PowerRL
 )
 
 func (p PowerPolicy) String() string {
@@ -153,9 +167,25 @@ func (p PowerPolicy) String() string {
 		return "Reactive"
 	case PowerML:
 		return "ML"
+	case PowerProteus:
+		return "Proteus"
+	case PowerD3NOC:
+		return "D3NOC"
+	case PowerOnline:
+		return "Online"
+	case PowerRL:
+		return "RL"
 	default:
 		return fmt.Sprintf("PowerPolicy(%d)", int(p))
 	}
+}
+
+// UsesMLUnit reports whether the policy evaluates a learned predictor
+// every reservation window on the paper's 0.018 mm^2 ML unit, and so
+// owes its per-window prediction energy. The rule-based policies
+// (static, reactive, PROTEUS, D3NOC) decide with comparators only.
+func (p PowerPolicy) UsesMLUnit() bool {
+	return p == PowerML || p == PowerOnline || p == PowerRL
 }
 
 // Config is a complete network build description.
@@ -302,6 +332,46 @@ func StaticWL(wl int) Config {
 	return c
 }
 
+// ProteusRW returns the PROTEUS-style rule-based loss-aware power
+// scaling comparison point with the given reservation window.
+func ProteusRW(window int) Config {
+	c := Default()
+	c.Power = PowerProteus
+	c.ReservationWindow = window
+	c.Allow8WL = true
+	return c
+}
+
+// D3NOCRW returns the D3NOC-style data-driven reconfiguration
+// comparison point with the given reservation window.
+func D3NOCRW(window int) Config {
+	c := Default()
+	c.Power = PowerD3NOC
+	c.ReservationWindow = window
+	c.Allow8WL = true
+	return c
+}
+
+// OnlineRW returns online recursive-least-squares power scaling with
+// the given reservation window (cold start, learns during the run).
+func OnlineRW(window int) Config {
+	c := Default()
+	c.Power = PowerOnline
+	c.ReservationWindow = window
+	c.Allow8WL = true
+	return c
+}
+
+// RLRW returns tabular Q-learning power scaling with the given
+// reservation window.
+func RLRW(window int) Config {
+	c := Default()
+	c.Power = PowerRL
+	c.ReservationWindow = window
+	c.Allow8WL = true
+	return c
+}
+
 // ValidWavelengths lists the five laser power states of §III.C.
 var ValidWavelengths = []int{64, 48, 32, 16, 8}
 
@@ -382,6 +452,14 @@ func (c Config) Name() string {
 			return fmt.Sprintf("ML RW%d", c.ReservationWindow)
 		}
 		return fmt.Sprintf("ML RW%d no8WL", c.ReservationWindow)
+	case PowerProteus:
+		return fmt.Sprintf("PROTEUS RW%d", c.ReservationWindow)
+	case PowerD3NOC:
+		return fmt.Sprintf("D3NOC RW%d", c.ReservationWindow)
+	case PowerOnline:
+		return fmt.Sprintf("Online RW%d", c.ReservationWindow)
+	case PowerRL:
+		return fmt.Sprintf("RL RW%d", c.ReservationWindow)
 	default:
 		return "unknown"
 	}

@@ -23,6 +23,12 @@ var presets = map[string]func() Config{
 	"ml-rw500-no8wl": func() Config { return MLRW(500, false) },
 	"ml-rw1000":      func() Config { return MLRW(1000, true) },
 	"ml-rw2000":      func() Config { return MLRW(2000, true) },
+	"proteus-rw500":  func() Config { return ProteusRW(500) },
+	"proteus-rw2000": func() Config { return ProteusRW(2000) },
+	"d3noc-rw500":    func() Config { return D3NOCRW(500) },
+	"d3noc-rw2000":   func() Config { return D3NOCRW(2000) },
+	"online-rw500":   func() Config { return OnlineRW(500) },
+	"rl-rw500":       func() Config { return RLRW(500) },
 }
 
 // ByName resolves a preset name (case-insensitive) to its Config.

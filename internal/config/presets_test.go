@@ -48,7 +48,7 @@ func TestPresetNamesSorted(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("PresetNames not sorted: %v", names)
 	}
-	if len(names) != 13 {
-		t.Fatalf("expected 13 presets, got %d: %v", len(names), names)
+	if len(names) != 19 {
+		t.Fatalf("expected 19 presets, got %d: %v", len(names), names)
 	}
 }

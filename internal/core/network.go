@@ -72,6 +72,11 @@ func New(engine *sim.Engine, cfg config.Config) (*Network, error) {
 	case config.PowerML:
 		n.initialState = photonic.WL64
 		n.policy = nil // set via SetPredictor or SetStatePolicy
+	case config.PowerProteus, config.PowerD3NOC, config.PowerOnline, config.PowerRL:
+		// Controller-installed policies: they scale down from full power,
+		// like the other scaling policies.
+		n.initialState = photonic.WL64
+		n.policy = nil // set via SetStatePolicy
 	default:
 		return nil, errors.New("core: unknown power policy " + cfg.Power.String())
 	}

@@ -15,9 +15,8 @@ import (
 // required — the policy can start cold — and the arithmetic stays O(d^2)
 // per window, within reach of the paper's 0.018 mm^2 ML unit.
 type OnlinePolicy struct {
-	rls      *mlkit.RLS
-	allow8   bool
-	headroom float64
+	rls    *mlkit.RLS
+	allow8 bool
 
 	// prev holds each router's previous-window features, awaiting their
 	// label (this window's injections).
@@ -43,7 +42,6 @@ func NewOnlinePolicy(forgetting float64, allow8 bool) (*OnlinePolicy, error) {
 	return &OnlinePolicy{
 		rls:           rls,
 		allow8:        allow8,
-		headroom:      0, // resolved per window
 		prev:          make(map[int][]float64, config.NumRouters),
 		warmupWindows: 3,
 		seen:          make(map[int]int, config.NumRouters),
@@ -63,10 +61,9 @@ func (p *OnlinePolicy) NextState(w WindowInfo) photonic.WLState {
 	if p.seen[w.RouterID] <= p.warmupWindows {
 		return photonic.WL64 // stay safe until the estimator has data
 	}
-	h := p.headroom
-	if h <= 0 {
-		h = DefaultPredictionHeadroom(w.WindowCycles)
-	}
+	// The capacity margin is always the window-derived default — there is
+	// deliberately no per-policy override (see TestOnlinePolicyHeadroom).
+	h := DefaultPredictionHeadroom(w.WindowCycles)
 	pred := p.rls.Predict(w.Features)
 	return StateForPrediction(pred*h, config.FlitBits, w.WindowCycles, p.allow8)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/config"
@@ -56,6 +57,35 @@ func TestOnlinePolicyLearnsIdle(t *testing.T) {
 	}
 	if pred := p.PredictPackets(feats); pred < 0 || pred > 40 {
 		t.Fatalf("learned prediction %v implausible for 4-flit windows", pred)
+	}
+}
+
+// TestOnlinePolicyHeadroom pins the removal of the dead per-policy
+// headroom override: the capacity margin is always the window-derived
+// DefaultPredictionHeadroom, and the struct must not grow the field
+// back (online.go's NextState comment points here).
+func TestOnlinePolicyHeadroom(t *testing.T) {
+	for _, name := range []string{"headroom", "Headroom"} {
+		if _, ok := reflect.TypeOf(OnlinePolicy{}).FieldByName(name); ok {
+			t.Fatalf("OnlinePolicy regained a %s field; the margin is always DefaultPredictionHeadroom", name)
+		}
+	}
+	p, err := NewOnlinePolicy(0.995, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := make([]float64, FeatureCount)
+	feats[8] = 40
+	w := WindowInfo{RouterID: 0, Features: feats, WindowCycles: 500, InjectedFlits: 40, Current: photonic.WL64}
+	for i := 0; i < 50; i++ {
+		p.NextState(w)
+	}
+	// Converged on a steady signal, the policy's choice must equal the
+	// Eq. 7 mapping under the default margin — no hidden scaling.
+	want := StateForPrediction(p.PredictPackets(feats)*DefaultPredictionHeadroom(500),
+		config.FlitBits, 500, true)
+	if got := p.NextState(w); got != want {
+		t.Fatalf("NextState = %v, want %v (default headroom only)", got, want)
 	}
 }
 

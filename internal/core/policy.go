@@ -131,6 +131,10 @@ func (p MLPolicy) NextState(w WindowInfo) photonic.WLState {
 	return StateForPrediction(pred*h, config.FlitBits, w.WindowCycles, p.Allow8WL)
 }
 
+// eq7States is the cheap-to-expensive state order Eq. 7 scans, as a
+// fixed array so the per-window policy evaluation never allocates.
+var eq7States = [...]photonic.WLState{photonic.WL8, photonic.WL16, photonic.WL32, photonic.WL48, photonic.WL64}
+
 // StateForPrediction implements Eq. 7: the router must be able to drain
 // PredictPkt x PktSz bits within the window, so pick the lowest state
 // whose serialization rate covers the predicted demand. Negative
@@ -146,7 +150,7 @@ func StateForPrediction(predictedPackets, meanPacketBits float64, windowCycles i
 		meanPacketBits = noc.RequestBits
 	}
 	required := predictedPackets * meanPacketBits / float64(windowCycles)
-	for _, s := range photonic.States() {
+	for _, s := range eq7States {
 		if s == photonic.WL8 && !allow8 {
 			continue
 		}

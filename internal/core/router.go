@@ -420,11 +420,11 @@ func (r *Router) windowBoundary(cycle int64) {
 			r.stallUntil = cycle + int64(r.net.turnOnCycles)
 			r.net.aux.TurnOnStalls++
 		}
-		if acct := r.net.acct; acct != nil && r.net.cfg.Power == config.PowerML {
+		if acct := r.net.acct; acct != nil && r.net.cfg.Power.UsesMLUnit() {
 			acct.AddMLPrediction()
 		}
 		r.setState(next)
-	} else if acct := r.net.acct; acct != nil && r.net.cfg.Power == config.PowerML {
+	} else if acct := r.net.acct; acct != nil && r.net.cfg.Power.UsesMLUnit() {
 		// The predictor runs every window regardless of outcome.
 		acct.AddMLPrediction()
 	}

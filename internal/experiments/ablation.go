@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/mlkit"
@@ -24,9 +25,9 @@ import (
 
 // runDynMean evaluates a configuration across the suite's pairs,
 // returning mean throughput (bits/cycle) and mean laser power (W).
-func (s *Suite) runDynMean(cfg config.Config, predictor core.PacketPredictor) (thr, laser float64, err error) {
+func (s *Suite) runDynMean(cfg config.Config, ctrl controller.Controller) (thr, laser float64, err error) {
 	results, err := parallelMap(len(s.Opts.Pairs), func(i int) (Result, error) {
-		return RunPEARL(cfg, s.Opts.Pairs[i], s.Opts, predictor)
+		return RunPEARL(cfg, s.Opts.Pairs[i], s.Opts, ctrl)
 	})
 	if err != nil {
 		return 0, 0, err
@@ -239,11 +240,11 @@ func (s *Suite) AblationLabelChoice() (Table, error) {
 		Notes:   "paper §IV.A: predicting injections decouples the label from the wavelength state; utilisation does not",
 	}
 	// Packets-injected label: the standard pipeline.
-	model, err := s.Model(500)
+	mlCtrl, err := s.controllerFor(config.MLRW(500, true))
 	if err != nil {
 		return Table{}, err
 	}
-	thr, laser, err := s.runDynMean(config.MLRW(500, true), model)
+	thr, laser, err := s.runDynMean(config.MLRW(500, true), mlCtrl)
 	if err != nil {
 		return Table{}, err
 	}

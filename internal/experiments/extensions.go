@@ -33,7 +33,7 @@ func (s *Suite) Extensions() (Table, error) {
 		runOne func(pairIdx int) (Result, error)
 	}
 
-	model, err := s.Model(500)
+	mlCtrl, err := s.controllerFor(config.MLRW(500, true))
 	if err != nil {
 		return Table{}, err
 	}
@@ -46,7 +46,7 @@ func (s *Suite) Extensions() (Table, error) {
 			return RunPEARL(config.DynRW(500), s.Opts.Pairs[i], s.Opts, nil)
 		}},
 		{"ML RW500 (offline ridge)", func(i int) (Result, error) {
-			return RunPEARL(config.MLRW(500, true), s.Opts.Pairs[i], s.Opts, model)
+			return RunPEARL(config.MLRW(500, true), s.Opts.Pairs[i], s.Opts, mlCtrl)
 		}},
 		{"Online RLS RW500", func(i int) (Result, error) {
 			policy, err := core.NewOnlinePolicy(0.995, true)

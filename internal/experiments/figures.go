@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/controller"
 	"repro/internal/models"
 	"repro/internal/photonic"
 	"repro/internal/traffic"
@@ -109,6 +109,21 @@ func (s *Suite) Model(window int) (*models.Artifact, error) {
 	return m, nil
 }
 
+// controllerFor builds the configuration's registered controller,
+// training (or fetching) the suite's model artifact first when the
+// controller needs one.
+func (s *Suite) controllerFor(cfg config.Config) (controller.Controller, error) {
+	var art *models.Artifact
+	if spec, ok := controller.ForPower(cfg.Power); ok && spec.Caps.NeedsModel {
+		m, err := s.Model(cfg.ReservationWindow)
+		if err != nil {
+			return nil, err
+		}
+		art = m
+	}
+	return controller.New(cfg, art)
+}
+
 // meanOverPairs runs fn per pair (in parallel) and averages the returned
 // metric.
 func meanOverPairs(pairs []traffic.Pair, fn func(traffic.Pair) (float64, error)) (float64, error) {
@@ -193,7 +208,8 @@ func (s *Suite) Figure5() (Table, error) {
 	return t, nil
 }
 
-// powerScalingConfigs are the Figure 6/7 comparison set.
+// powerScalingConfigs are the Figure 6/7 comparison set: the paper's
+// architectures plus the related-work comparison controllers.
 func (s *Suite) powerScalingConfigs() ([]config.Config, error) {
 	return []config.Config{
 		config.PEARLDyn(), // 64WL baseline
@@ -202,6 +218,8 @@ func (s *Suite) powerScalingConfigs() ([]config.Config, error) {
 		config.MLRW(500, true),
 		config.MLRW(500, false),
 		config.MLRW(2000, true),
+		config.ProteusRW(500),
+		config.D3NOCRW(500),
 	}, nil
 }
 
@@ -242,16 +260,12 @@ func (s *Suite) runScalingSetUncached() (Table, Table, error) {
 	}
 	var points []point
 	for _, cfg := range cfgs {
-		var predictor core.PacketPredictor
-		if cfg.Power == config.PowerML {
-			m, err := s.Model(cfg.ReservationWindow)
-			if err != nil {
-				return Table{}, Table{}, err
-			}
-			predictor = m
+		ctrl, err := s.controllerFor(cfg)
+		if err != nil {
+			return Table{}, Table{}, err
 		}
 		results, err := parallelMap(len(s.Opts.Pairs), func(i int) (Result, error) {
-			return RunPEARL(cfg, s.Opts.Pairs[i], s.Opts, predictor)
+			return RunPEARL(cfg, s.Opts.Pairs[i], s.Opts, ctrl)
 		})
 		if err != nil {
 			return Table{}, Table{}, err
@@ -297,12 +311,13 @@ func (s *Suite) Figure8() (Table, error) {
 		Notes:   "paper: ML RW2000 spends just under 30% in the 64WL state",
 	}
 	for _, window := range []int{500, 2000} {
-		model, err := s.Model(window)
+		cfg := config.MLRW(window, true)
+		ctrl, err := s.controllerFor(cfg)
 		if err != nil {
 			return Table{}, err
 		}
 		results, err := parallelMap(len(s.Opts.Pairs), func(i int) (Result, error) {
-			return RunPEARL(config.MLRW(window, true), s.Opts.Pairs[i], s.Opts, model)
+			return RunPEARL(cfg, s.Opts.Pairs[i], s.Opts, ctrl)
 		})
 		if err != nil {
 			return Table{}, err
@@ -333,7 +348,7 @@ func (s *Suite) Figure9() (Table, error) {
 		Columns: []string{"throughput", "vs CMESH %"},
 		Notes:   "paper: dynamic and ML power scaling outperform CMESH by 34% and 20%; Dyn RW500 ~= PEARL-FCFS",
 	}
-	model, err := s.Model(500)
+	mlCtrl, err := s.controllerFor(config.MLRW(500, false))
 	if err != nil {
 		return Table{}, err
 	}
@@ -350,7 +365,13 @@ func (s *Suite) Figure9() (Table, error) {
 			return RunPEARL(cfg, p, s.Opts, nil)
 		}},
 		{"ML RW500 no8WL", func(p traffic.Pair) (Result, error) {
-			return RunPEARL(config.MLRW(500, false), p, s.Opts, model)
+			return RunPEARL(config.MLRW(500, false), p, s.Opts, mlCtrl)
+		}},
+		{"PROTEUS RW500", func(p traffic.Pair) (Result, error) {
+			return RunPEARL(config.ProteusRW(500), p, s.Opts, nil)
+		}},
+		{"D3NOC RW500", func(p traffic.Pair) (Result, error) {
+			return RunPEARL(config.D3NOCRW(500), p, s.Opts, nil)
 		}},
 		{"CMESH", func(p traffic.Pair) (Result, error) { return RunCMESH(config.Default(), p, s.Opts, 1) }},
 	}
@@ -397,12 +418,12 @@ func (s *Suite) Figure10() (Table, error) {
 	}
 	t.Rows = append(t.Rows, Row{Label: "PEARL-Dyn(64WL)", Values: []float64{base, 0}})
 	for _, window := range []int{500, 1000, 2000} {
-		model, err := s.Model(window)
+		ctrl, err := s.controllerFor(config.MLRW(window, true))
 		if err != nil {
 			return Table{}, err
 		}
 		mean, err := meanOverPairs(s.Opts.Pairs, func(pair traffic.Pair) (float64, error) {
-			res, err := RunPEARL(config.MLRW(window, true), pair, s.Opts, model)
+			res, err := RunPEARL(config.MLRW(window, true), pair, s.Opts, ctrl)
 			if err != nil {
 				return 0, err
 			}

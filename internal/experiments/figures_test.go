@@ -18,8 +18,8 @@ func TestFigure6And7(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f6.Rows) != 6 || len(f7.Rows) != 6 {
-		t.Fatalf("rows: f6=%d f7=%d, want 6 configurations", len(f6.Rows), len(f7.Rows))
+	if len(f6.Rows) != 8 || len(f7.Rows) != 8 {
+		t.Fatalf("rows: f6=%d f7=%d, want 8 configurations (6 paper + proteus/d3noc comparison)", len(f6.Rows), len(f7.Rows))
 	}
 	// Row 0 is the 64WL baseline: zero deltas.
 	if f6.Rows[0].Values[1] != 0 || f7.Rows[0].Values[1] != 0 {
@@ -100,8 +100,8 @@ func TestFigure9(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 5 {
-		t.Fatalf("rows = %d", len(tbl.Rows))
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (5 paper + proteus/d3noc comparison)", len(tbl.Rows))
 	}
 	dyn, ok := tbl.Value("PEARL-Dyn(64WL)", "vs CMESH %")
 	if !ok {

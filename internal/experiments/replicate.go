@@ -7,7 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/controller"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -69,32 +69,24 @@ func ReplicaSeeds(base uint64, configName, pairName string, n int) []uint64 {
 	return seeds
 }
 
-// ReplicaSafePredictor marks a PacketPredictor whose PredictPackets is
-// safe to call concurrently from the lockstep engine's worker
-// goroutines (each replica holds its own reference, but a shared
-// predictor sees calls from several goroutines at once). Immutable
-// predictors — trained model artifacts — qualify; anything with
-// per-call mutable state does not.
-type ReplicaSafePredictor interface {
-	core.PacketPredictor
-	// ReplicaSafe is a marker; it is never called.
-	ReplicaSafe()
-}
-
 // CanReplicate reports whether a PEARL configuration can run in
-// replicated lockstep mode with the given predictor. Non-ML power
-// policies always can; PowerML requires a predictor that declares
-// itself replica-safe (see ReplicaSafePredictor). The electrical CMESH
-// baseline is always replicable and has no gate.
-func CanReplicate(cfg config.Config, predictor core.PacketPredictor) error {
-	if cfg.Power != config.PowerML {
-		return nil
+// replicated lockstep mode under the given controller: the controller
+// must declare itself replica-safe (every Policy call mints an
+// independent instance, so replica N matches a standalone run of its
+// seed). ctrl may be nil, in which case the configuration's registered
+// controller is consulted; a model-needing configuration then fails
+// with the construction error. The electrical CMESH baseline is always
+// replicable and has no gate.
+func CanReplicate(cfg config.Config, ctrl controller.Controller) error {
+	if ctrl == nil {
+		c, err := controller.New(cfg, nil)
+		if err != nil {
+			return err
+		}
+		ctrl = c
 	}
-	if predictor == nil {
-		return fmt.Errorf("experiments: %s needs a predictor", cfg.Name())
-	}
-	if _, ok := predictor.(ReplicaSafePredictor); !ok {
-		return fmt.Errorf("experiments: predictor %T is not marked replica-safe; %s cannot run replicated", predictor, cfg.Name())
+	if !ctrl.Capabilities().ReplicaSafe {
+		return fmt.Errorf("experiments: controller %s is not replica-safe; %s cannot run replicated", ctrl.Name(), cfg.Name())
 	}
 	return nil
 }
@@ -247,10 +239,17 @@ func (l *Lockstep) runAll(ctx context.Context, opts Options) ([]Result, error) {
 // NewPEARLLockstep builds a lockstep engine over one photonic
 // configuration with one replica per seed. seeds[i] becomes replica i's
 // Options.Seed verbatim — callers wanting the standard fan use
-// ReplicaSeeds. opts.OnWindow, if set, observes replica 0 only and is
-// invoked from a worker goroutine.
-func NewPEARLLockstep(cfg config.Config, pair traffic.Pair, opts Options, seeds []uint64, predictor core.PacketPredictor) (*Lockstep, error) {
-	if err := CanReplicate(cfg, predictor); err != nil {
+// ReplicaSeeds. opts.OnWindow and opts.OnWindowSample, if set, observe
+// replica 0 only and are invoked from a worker goroutine.
+func NewPEARLLockstep(cfg config.Config, pair traffic.Pair, opts Options, seeds []uint64, ctrl controller.Controller) (*Lockstep, error) {
+	if ctrl == nil {
+		c, err := controller.New(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		ctrl = c
+	}
+	if err := CanReplicate(cfg, ctrl); err != nil {
 		return nil, err
 	}
 	return newLockstep(len(seeds), func(i int, tab *traffic.ExpTable) (replica, error) {
@@ -258,8 +257,9 @@ func NewPEARLLockstep(cfg config.Config, pair traffic.Pair, opts Options, seeds 
 		o.Seed = seeds[i]
 		if i != 0 {
 			o.OnWindow = nil
+			o.OnWindowSample = nil
 		}
-		return buildPEARLReplica(cfg, pair, o, predictor, tab)
+		return buildPEARLReplica(cfg, pair, o, ctrl, tab)
 	})
 }
 
@@ -278,8 +278,8 @@ func NewCMESHLockstep(cfg config.Config, pair traffic.Pair, opts Options, seeds 
 // RunPEARLReplicatedSeeds runs one replica per seed in lockstep and
 // returns their Results in seed order. results[i] is bit-identical to
 // RunPEARLCtx with opts.Seed = seeds[i].
-func RunPEARLReplicatedSeeds(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, seeds []uint64, predictor core.PacketPredictor) ([]Result, error) {
-	l, err := NewPEARLLockstep(cfg, pair, opts, seeds, predictor)
+func RunPEARLReplicatedSeeds(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, seeds []uint64, ctrl controller.Controller) ([]Result, error) {
+	l, err := NewPEARLLockstep(cfg, pair, opts, seeds, ctrl)
 	if err != nil {
 		return nil, err
 	}
@@ -289,15 +289,15 @@ func RunPEARLReplicatedSeeds(ctx context.Context, cfg config.Config, pair traffi
 
 // RunPEARLReplicated runs n replicas with the standard derived-seed fan
 // (see ReplicaSeeds); replica 0 runs opts.Seed itself.
-func RunPEARLReplicated(cfg config.Config, pair traffic.Pair, opts Options, n int, predictor core.PacketPredictor) ([]Result, error) {
-	return RunPEARLReplicatedCtx(context.Background(), cfg, pair, opts, n, predictor)
+func RunPEARLReplicated(cfg config.Config, pair traffic.Pair, opts Options, n int, ctrl controller.Controller) ([]Result, error) {
+	return RunPEARLReplicatedCtx(context.Background(), cfg, pair, opts, n, ctrl)
 }
 
 // RunPEARLReplicatedCtx is RunPEARLReplicated with cooperative
 // cancellation between cycle chunks.
-func RunPEARLReplicatedCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, n int, predictor core.PacketPredictor) ([]Result, error) {
+func RunPEARLReplicatedCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, n int, ctrl controller.Controller) ([]Result, error) {
 	seeds := ReplicaSeeds(opts.Seed, cfg.Name(), pair.Name(), n)
-	return RunPEARLReplicatedSeeds(ctx, cfg, pair, opts, seeds, predictor)
+	return RunPEARLReplicatedSeeds(ctx, cfg, pair, opts, seeds, ctrl)
 }
 
 // RunCMESHReplicatedSeeds is RunPEARLReplicatedSeeds for the electrical

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/traffic"
 )
@@ -152,30 +153,52 @@ func TestReplicatedCancellation(t *testing.T) {
 	}
 }
 
-// replicaSafeStub is a trivially thread-safe predictor for gate tests.
-type replicaSafeStub struct{ core.PredictorFunc }
+// stubController is a hand-built controller for gate tests: the
+// capability declaration, not the policy it mints, is what CanReplicate
+// judges.
+type stubController struct {
+	name string
+	caps controller.Capabilities
+	mint func(seed uint64) (core.StatePolicy, error)
+}
 
-func (replicaSafeStub) ReplicaSafe() {}
+func (c stubController) Name() string                          { return c.name }
+func (c stubController) Capabilities() controller.Capabilities { return c.caps }
+func (c stubController) Policy(seed uint64) (core.StatePolicy, error) {
+	return c.mint(seed)
+}
 
 func TestCanReplicate(t *testing.T) {
 	flat := core.PredictorFunc(func([]float64) float64 { return 1 })
 	ml := config.MLRW(500, true)
+	safe := stubController{
+		name: "stub-safe",
+		caps: controller.Capabilities{ReplicaSafe: true, NeedsModel: true},
+		mint: func(uint64) (core.StatePolicy, error) {
+			return core.MLPolicy{Model: flat, Allow8WL: true}, nil
+		},
+	}
+	unsafe := safe
+	unsafe.name = "stub-unsafe"
+	unsafe.caps.ReplicaSafe = false
+
 	if err := CanReplicate(config.PEARLDyn(), nil); err != nil {
-		t.Errorf("non-ML config should always replicate: %v", err)
+		t.Errorf("static config's registered controller should replicate: %v", err)
 	}
 	if err := CanReplicate(ml, nil); err == nil {
-		t.Error("ML config without predictor must not replicate")
+		t.Error("ML config without a model artifact must not replicate (controller construction fails)")
 	}
-	if err := CanReplicate(ml, flat); err == nil {
-		t.Error("unmarked predictor must not replicate")
+	if err := CanReplicate(ml, unsafe); err == nil {
+		t.Error("controller declaring ReplicaSafe=false must not replicate")
 	}
-	if err := CanReplicate(ml, replicaSafeStub{flat}); err != nil {
-		t.Errorf("replica-safe predictor rejected: %v", err)
+	if err := CanReplicate(ml, safe); err != nil {
+		t.Errorf("replica-safe controller rejected: %v", err)
 	}
-	// The marked stub must drive a real replicated ML run end to end.
+	// The replica-safe controller must drive a real replicated ML run end
+	// to end.
 	opts := tiny()
 	opts.MeasureCycles = 2000
-	if _, err := RunPEARLReplicated(ml, traffic.TestPairs()[0], opts, 2, replicaSafeStub{flat}); err != nil {
-		t.Errorf("replicated ML run with safe predictor: %v", err)
+	if _, err := RunPEARLReplicated(ml, traffic.TestPairs()[0], opts, 2, safe); err != nil {
+		t.Errorf("replicated ML run with safe controller: %v", err)
 	}
 }

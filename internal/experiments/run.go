@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/cmesh"
 	"repro/internal/config"
+	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/photonic"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -44,6 +46,14 @@ type Options struct {
 	// it must not block, and it must not touch the engine. Leaving it
 	// nil keeps the run byte-identical to one without observation.
 	OnWindow func(WindowStats)
+	// OnWindowSample, when non-nil, receives every router's raw
+	// reservation-window observation on PEARL runs: the Table III
+	// feature snapshot and the 128-bit flits injected during the closing
+	// window (the label for the *previous* window's features, matching
+	// the training pipeline's pairing). pearld's canary retrainer feeds
+	// on this. Same discipline as OnWindow: simulation goroutine, must
+	// not block, nil keeps the run byte-identical.
+	OnWindowSample func(routerID int, feats []float64, injected int64)
 }
 
 // Full returns the paper-faithful option set: all 16 test pairs, all 36
@@ -132,22 +142,37 @@ type replica struct {
 // buildPEARLReplica constructs one photonic simulation stack. opts.Seed
 // is used as-is (the replicated runner substitutes derived per-replica
 // seeds before calling); tab, when non-nil, shares an exp(-rate) memo
-// with other replicas on the same goroutine.
-func buildPEARLReplica(cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor, tab *traffic.ExpTable) (replica, error) {
+// with other replicas on the same goroutine. ctrl may be nil, in which
+// case the configuration's registered controller is built with no model
+// artifact (model-needing policies then fail construction here, before
+// any simulation state exists).
+func buildPEARLReplica(cfg config.Config, pair traffic.Pair, opts Options, ctrl controller.Controller, tab *traffic.ExpTable) (replica, error) {
 	engine := sim.NewEngine()
 	net, err := core.New(engine, cfg)
 	if err != nil {
 		return replica{}, err
 	}
-	if cfg.Power == config.PowerML {
-		if predictor == nil {
-			return replica{}, fmt.Errorf("experiments: %s needs a predictor", cfg.Name())
+	if ctrl == nil {
+		ctrl, err = controller.New(cfg, nil)
+		if err != nil {
+			return replica{}, err
 		}
-		net.SetPredictor(predictor)
+	}
+	wseed := runSeed(opts.Seed, cfg.Name(), pair.Name())
+	pol, err := ctrl.Policy(wseed)
+	if err != nil {
+		return replica{}, err
+	}
+	net.SetStatePolicy(pol)
+	if opts.OnWindowSample != nil {
+		sample := opts.OnWindowSample
+		net.SetWindowHook(func(routerID int, feats []float64, injected int64, _ float64, _ photonic.WLState) {
+			sample(routerID, feats, injected)
+		})
 	}
 	acct := power.NewAccount(config.NetworkFrequencyHz)
 	net.SetAccount(acct)
-	w, err := traffic.NewWorkloadWithExpTable(engine, net, pair, runSeed(opts.Seed, cfg.Name(), pair.Name()), tab)
+	w, err := traffic.NewWorkloadWithExpTable(engine, net, pair, wseed, tab)
 	if err != nil {
 		return replica{}, err
 	}
@@ -196,17 +221,19 @@ func buildPEARLReplica(cfg config.Config, pair traffic.Pair, opts Options, predi
 }
 
 // RunPEARL simulates one photonic configuration on one benchmark pair.
-// predictor may be nil except for PowerML configurations.
-func RunPEARL(cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor) (Result, error) {
-	return RunPEARLCtx(context.Background(), cfg, pair, opts, predictor)
+// ctrl may be nil for any configuration whose registered controller
+// needs no model artifact; model-needing configurations must pass a
+// controller built via controller.New with their artifact.
+func RunPEARL(cfg config.Config, pair traffic.Pair, opts Options, ctrl controller.Controller) (Result, error) {
+	return RunPEARLCtx(context.Background(), cfg, pair, opts, ctrl)
 }
 
 // RunPEARLCtx is RunPEARL with cooperative cancellation: the simulation
 // aborts between cycle chunks once ctx is cancelled or its deadline
 // passes, returning the context error. This is the entry point pearld's
 // worker pool uses for in-flight job cancellation.
-func RunPEARLCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, predictor core.PacketPredictor) (Result, error) {
-	r, err := buildPEARLReplica(cfg, pair, opts, predictor, nil)
+func RunPEARLCtx(ctx context.Context, cfg config.Config, pair traffic.Pair, opts Options, ctrl controller.Controller) (Result, error) {
+	r, err := buildPEARLReplica(cfg, pair, opts, ctrl, nil)
 	if err != nil {
 		return Result{}, err
 	}

@@ -7,7 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/controller"
 	"repro/internal/traffic"
 )
 
@@ -26,10 +26,12 @@ type Point struct {
 	LinkScale int
 	// Pair is the CPU+GPU benchmark pair driving the run.
 	Pair traffic.Pair
-	// Predictor serves PowerML points. Callers fill it from a model
-	// artifact (pearld resolves its registry; pearlbench loads -model
-	// files); a PowerML point with a nil predictor fails at run time.
-	Predictor core.PacketPredictor
+	// Controller drives the point's wavelength-state policy. nil means
+	// the config's registered controller with no model artifact, so
+	// model-needing points must be filled by the caller (pearld resolves
+	// its registry; pearlbench loads -model files) or they fail at run
+	// time.
+	Controller controller.Controller
 }
 
 // sweepConfig is one configuration of a named sweep before pairs are
@@ -80,6 +82,10 @@ func sweepConfigs(name string) ([]sweepConfig, error) {
 			pearlPoint(config.MLRW(500, true)),
 			pearlPoint(config.MLRW(500, false)),
 			pearlPoint(config.MLRW(2000, true)),
+			// Related-work comparison series: rule-based loss-aware
+			// co-management and data-driven EWMA reconfiguration.
+			pearlPoint(config.ProteusRW(500)),
+			pearlPoint(config.D3NOCRW(500)),
 		}, nil
 	case "fig8":
 		return []sweepConfig{
@@ -94,6 +100,8 @@ func sweepConfigs(name string) ([]sweepConfig, error) {
 			pearlPoint(config.PEARLFCFS()),
 			pearlPoint(noLow),
 			pearlPoint(config.MLRW(500, false)),
+			pearlPoint(config.ProteusRW(500)),
+			pearlPoint(config.D3NOCRW(500)),
 			cmeshPoint(1),
 		}, nil
 	case "fig10":
@@ -169,6 +177,6 @@ func RunSweep(ctx context.Context, points []Point, opts Options) ([]Result, erro
 			}
 			return RunCMESHCtx(ctx, p.Config, p.Pair, opts, scale)
 		}
-		return RunPEARLCtx(ctx, p.Config, p.Pair, opts, p.Predictor)
+		return RunPEARLCtx(ctx, p.Config, p.Pair, opts, p.Controller)
 	})
 }

@@ -18,10 +18,10 @@ func TestFigureSweepExpansion(t *testing.T) {
 	}{
 		{"fig4", 1, 0, 0},
 		{"fig5", 9, 3, 0},
-		{"fig6", 6, 0, 3},
-		{"fig7", 6, 0, 3},
+		{"fig6", 8, 0, 3},
+		{"fig7", 8, 0, 3},
 		{"fig8", 2, 0, 2},
-		{"fig9", 5, 1, 1},
+		{"fig9", 7, 1, 1},
 		{"fig10", 4, 0, 3},
 		{"fig11", 8, 0, 0},
 	}
@@ -49,14 +49,14 @@ func TestFigureSweepExpansion(t *testing.T) {
 				if p.Label == "" || p.Pair.CPU.Name == "" {
 					t.Fatalf("point %d underspecified: %+v", i, p)
 				}
-				// ML points expand with a nil Predictor; the caller
-				// (pearld's registry, pearlbench -model) fills it in
-				// or skips the point.
+				// Points expand with a nil Controller; the caller
+				// (pearld's finalize, pearlbench) builds it — resolving
+				// model-needing ones against a registry or skipping them.
+				if p.Controller != nil {
+					t.Fatalf("point %d: expansion pre-bound a controller", i)
+				}
 				if p.Config.Power == config.PowerML {
 					ml++
-					if p.Predictor != nil {
-						t.Fatalf("point %d: expansion pre-bound a predictor", i)
-					}
 				}
 			}
 			if cmesh != tc.cmeshCount*len(pairs) {
@@ -85,8 +85,8 @@ func TestFigureSweepRestrictedPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 5*2 {
-		t.Fatalf("restricted fig9 expanded to %d points, want 10", len(points))
+	if len(points) != 7*2 {
+		t.Fatalf("restricted fig9 expanded to %d points, want 14", len(points))
 	}
 }
 

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/photonic"
 )
 
@@ -31,17 +30,13 @@ func (s *Suite) ThermalStudy() (Table, error) {
 		config.MLRW(500, true),
 	}
 	for _, cfg := range cfgs {
-		var predictor core.PacketPredictor
-		if cfg.Power == config.PowerML {
-			m, err := s.Model(cfg.ReservationWindow)
-			if err != nil {
-				return Table{}, err
-			}
-			predictor = m
+		ctrl, err := s.controllerFor(cfg)
+		if err != nil {
+			return Table{}, err
 		}
 		var laserSum, gatedSum, ungatedSum float64
 		for _, pair := range s.Opts.Pairs {
-			res, err := RunPEARL(cfg, pair, s.Opts, predictor)
+			res, err := RunPEARL(cfg, pair, s.Opts, ctrl)
 			if err != nil {
 				return Table{}, err
 			}

@@ -135,6 +135,28 @@ func (r *Ridge) Predict(features []float64) float64 {
 	return Dot(r.scaler.TransformRow(features), r.weights) + r.bias
 }
 
+// PredictInto is Predict with caller-provided scratch for the
+// standardised features (len >= the feature count), so steady-state
+// policy evaluation allocates nothing. The arithmetic is exactly
+// Predict's — per-element standardisation then the same dot product —
+// so the two paths return bit-identical values.
+func (r *Ridge) PredictInto(features, scratch []float64) float64 {
+	if !r.Fitted() {
+		panic("mlkit: PredictInto before Fit")
+	}
+	if len(features) != len(r.scaler.Mean) {
+		panic(fmt.Sprintf("mlkit: scaler fitted on %d features, got %d", len(r.scaler.Mean), len(features)))
+	}
+	if len(scratch) < len(features) {
+		panic(fmt.Sprintf("mlkit: scratch length %d < %d features", len(scratch), len(features)))
+	}
+	s := scratch[:len(features)]
+	for j, v := range features {
+		s[j] = (v - r.scaler.Mean[j]) / r.scaler.Std[j]
+	}
+	return Dot(s, r.weights) + r.bias
+}
+
 // PredictAll evaluates every row of a raw design matrix.
 func (r *Ridge) PredictAll(x *Matrix) []float64 {
 	if !r.Fitted() {

@@ -153,11 +153,6 @@ func (a *Artifact) PredictPackets(feats []float64) float64 {
 	return a.ridge.Predict(feats)
 }
 
-// ReplicaSafe marks the artifact as safe for concurrent prediction
-// (experiments.ReplicaSafePredictor): a loaded artifact is immutable,
-// so lockstep replicas may share it across worker goroutines.
-func (a *Artifact) ReplicaSafe() {}
-
 // Ridge exposes the reconstructed regression for bulk evaluation
 // (experiments.Evaluate's PredictAll over a test design matrix).
 func (a *Artifact) Ridge() *mlkit.Ridge { return a.ridge }

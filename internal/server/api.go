@@ -30,10 +30,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/controller"
 	"repro/internal/experiments"
 	"repro/internal/models"
 	"repro/internal/traffic"
@@ -83,6 +84,12 @@ type JobRequest struct {
 	// Empty defaults to "rw<reservation window>". Shorthand for
 	// Config["ModelRef"].
 	Model string `json:"model,omitempty"`
+	// Policy optionally names a registered wavelength-state controller
+	// ("static", "reactive", "ml", "online", "rl", "proteus", "d3noc");
+	// it sets the resolved configuration's power policy after preset and
+	// Config overrides. Unknown names are rejected with the registered
+	// list.
+	Policy string `json:"policy,omitempty"`
 	// TimeoutMS bounds the job's wall-clock runtime; 0 uses the server
 	// default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -99,10 +106,22 @@ type jobSpec struct {
 	measure   int64
 	linkScale int
 	timeout   time.Duration
-	// predictor is the resolved model artifact serving a PowerML pearl
-	// spec. It is derived state, not identity: cfg.ModelRef carries the
-	// artifact's content hash, which the cache key covers.
-	predictor core.PacketPredictor
+	// ctrl is the constructed wavelength-state controller for pearl
+	// specs. It is derived state, not identity: cfg.Power selects the
+	// controller family and cfg.ModelRef carries the model artifact's
+	// content hash, both covered by the cache key.
+	ctrl controller.Controller
+	// ctrlName is the registered controller name (metrics attribution).
+	ctrlName string
+	// artifact is the resolved model artifact for model-needing
+	// controllers (nil otherwise); the shard dispatcher uploads it to
+	// peers on miss and the canary retrainer matches against its hash.
+	artifact *models.Artifact
+	// canarySample, when set, streams each reservation window's raw
+	// observation from this job's run into pearld's canary retrainer.
+	// Execution state only — never part of the cache key, never affects
+	// the result.
+	canarySample func(routerID int, feats []float64, injected int64)
 }
 
 // options bounds for externally supplied run lengths.
@@ -145,6 +164,14 @@ func (r JobRequest) resolve(defaultTimeout time.Duration, reg *models.Registry) 
 		if err := applyOverrides(&cfg, r.Config); err != nil {
 			return jobSpec{}, err
 		}
+	}
+	if r.Policy != "" {
+		cspec, ok := controller.Lookup(r.Policy)
+		if !ok {
+			return jobSpec{}, fmt.Errorf("unknown policy %q (registered: %s)",
+				r.Policy, strings.Join(controller.Names(), ", "))
+		}
+		cfg.Power = cspec.Power
 	}
 	if r.WarmupCycles > 0 {
 		cfg.WarmupCycles = int(r.WarmupCycles)
@@ -225,13 +252,26 @@ func (s jobSpec) finalize(defaultTimeout time.Duration, reg *models.Registry) (j
 	if s.cfg.WarmupCycles > maxWarmupCycles {
 		return jobSpec{}, fmt.Errorf("warmup cycles %d above server limit %d", s.cfg.WarmupCycles, maxWarmupCycles)
 	}
-	if s.backend == BackendPEARL && s.cfg.Power == config.PowerML {
-		art, err := resolveModel(s.cfg, reg)
+	if s.backend == BackendPEARL {
+		cspec, ok := controller.ForPower(s.cfg.Power)
+		if !ok {
+			return jobSpec{}, fmt.Errorf("no controller registered for power policy %s", s.cfg.Power)
+		}
+		s.ctrlName = cspec.Name
+		var art *models.Artifact
+		if cspec.Caps.NeedsModel {
+			var err error
+			if art, err = resolveModel(s.cfg, reg); err != nil {
+				return jobSpec{}, err
+			}
+			s.cfg.ModelRef = art.Hash
+			s.artifact = art
+		}
+		ctrl, err := controller.New(s.cfg, art)
 		if err != nil {
 			return jobSpec{}, err
 		}
-		s.cfg.ModelRef = art.Hash
-		s.predictor = art
+		s.ctrl = ctrl
 	}
 	s.warmup = int64(s.cfg.WarmupCycles)
 	s.measure = int64(s.cfg.MeasureCycles)

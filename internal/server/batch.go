@@ -9,7 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/config"
+	"repro/internal/controller"
 	"repro/internal/experiments"
 	"repro/internal/models"
 	"repro/internal/traffic"
@@ -153,11 +153,12 @@ func (r BatchRequest) expandSweep(defaultTimeout time.Duration, reg *models.Regi
 		spec, err := spec.finalize(defaultTimeout, reg)
 		if err != nil {
 			// Sweep configurations are valid by construction, so a
-			// finalize error on an ML point means the registry cannot
-			// serve its model. Skip the point with the reason rather than
-			// failing the whole sweep — the registry is operator state,
-			// not part of the request.
-			if p.Backend == BackendPEARL && cfg.Power == config.PowerML {
+			// finalize error on a model-needing point means the registry
+			// cannot serve its model. Skip the point with the reason
+			// rather than failing the whole sweep — the registry is
+			// operator state, not part of the request.
+			cspec, registered := controller.ForPower(cfg.Power)
+			if p.Backend == BackendPEARL && registered && cspec.Caps.NeedsModel {
 				skipped = append(skipped, SkippedPoint{
 					Label:  p.Label,
 					Pair:   p.Pair.Name(),

@@ -257,7 +257,8 @@ func TestBatchCancelOnFirstError(t *testing.T) {
 }
 
 func TestBatchSweepExpansion(t *testing.T) {
-	// fig9 crosses 4 configurations with the restricted pair list.
+	// fig9 crosses 7 configurations with the restricted pair list; the
+	// ML point is skipped (no hosted model), leaving 6 per pair.
 	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 16})
 	body := `{"sweep":"fig9","seed":7,"warmup_cycles":200,"measure_cycles":2000,"workloads":[
 	 {"cpu":"fmm","gpu":"DCT"},{"cpu":"x264","gpu":"Reduction"}]}`
@@ -265,16 +266,16 @@ func TestBatchSweepExpansion(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("sweep batch submit: HTTP %d", code)
 	}
-	if st.Total != 8 {
-		t.Fatalf("fig9 x 2 pairs expanded to %d points, want 8", st.Total)
+	if st.Total != 12 {
+		t.Fatalf("fig9 x 2 pairs expanded to %d points, want 12", st.Total)
 	}
 	done := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.State == "done" }, 60*time.Second)
 	backends := map[string]int{}
 	for _, p := range done.Points {
 		backends[p.Backend]++
 	}
-	if backends[BackendPEARL] != 6 || backends[BackendCMESH] != 2 {
-		t.Fatalf("fig9 backends = %v, want 6 pearl + 2 cmesh", backends)
+	if backends[BackendPEARL] != 10 || backends[BackendCMESH] != 2 {
+		t.Fatalf("fig9 backends = %v, want 10 pearl + 2 cmesh", backends)
 	}
 }
 

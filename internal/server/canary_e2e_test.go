@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postRefine triggers one canary refinement and decodes the response.
+func postRefine(t *testing.T, ts *httptest.Server) (int, CanaryStatus, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/admin/canary/refine", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st CanaryStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st, ""
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, st, apiErr.Error
+}
+
+// TestCanaryRetrainEndToEnd drives the whole serving-time learning
+// loop: PowerML jobs feed the estimator, a refinement publishes a new
+// content-hashed version and promotes the alias (the incumbent is
+// deliberately terrible), the promotion makes resubmissions cache-miss
+// under the new hash, and a second refinement with no new evidence is
+// correctly NOT promoted — both branches of the canary gate.
+func TestCanaryRetrainEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// The incumbent predicts ~5000 packets per window regardless of
+	// traffic — a model the online estimator must beat quickly.
+	incumbent := syntheticArtifact(t, 500, 5000)
+	if err := incumbent.SaveFile(filepath.Join(dir, "rw500.json")); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{
+		Workers:            2,
+		ModelDir:           dir,
+		CanaryAlias:        "rw500",
+		CanaryMinSamples:   16,
+		CanaryHoldoutEvery: 4,
+	})
+
+	// Refining before any evidence must refuse with a reason.
+	if code, _, msg := postRefine(t, ts); code != http.StatusConflict || !strings.Contains(msg, "samples") {
+		t.Fatalf("premature refine: HTTP %d (%q), want 409 naming the sample gate", code, msg)
+	}
+
+	// One PowerML job at the canary's window feeds the estimator.
+	body := `{"preset":"ml-rw500","model":"rw500","workload":{"cpu":"fmm","gpu":"DCT"},"seed":9,"warmup_cycles":200,"measure_cycles":4000}`
+	code, st := postJob(t, ts, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	done := pollUntil(t, ts, st.ID, func(s JobStatus) bool { return JobState(s.State).Terminal() }, 60*time.Second)
+	if done.State != string(StateDone) {
+		t.Fatalf("job finished %s: %s", done.State, done.Error)
+	}
+	keyBefore := done.CacheKey
+
+	// First refinement: the candidate must beat the absurd incumbent on
+	// the holdout and take over the alias.
+	code, cs, msg := postRefine(t, ts)
+	if code != http.StatusOK {
+		t.Fatalf("refine: HTTP %d (%s)", code, msg)
+	}
+	if !cs.Promoted {
+		t.Fatalf("candidate (err %.2f) did not displace the broken incumbent (err %.2f): %+v",
+			cs.CandidateErr, cs.CurrentErr, cs)
+	}
+	if cs.CandidateErr >= cs.CurrentErr {
+		t.Fatalf("promoted without strict improvement: %.2f vs %.2f", cs.CandidateErr, cs.CurrentErr)
+	}
+	if cs.AliasHash != cs.CandidateHash || cs.CandidateHash == incumbent.Hash {
+		t.Fatalf("alias hash %s after promotion, want candidate %s (incumbent was %s)",
+			cs.AliasHash, cs.CandidateHash, incumbent.Hash)
+	}
+
+	// The candidate is always published under "<alias>-canary".
+	var list struct {
+		Models []struct {
+			Name string `json:"name"`
+			Hash string `json:"hash"`
+		} `json:"models"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/models", &list); code != http.StatusOK {
+		t.Fatalf("models list: HTTP %d", code)
+	}
+	names := make(map[string]string, len(list.Models))
+	for _, e := range list.Models {
+		names[e.Name] = e.Hash
+	}
+	if names["rw500-canary"] != cs.CandidateHash || names["rw500"] != cs.CandidateHash {
+		t.Fatalf("registry after promotion: %v, want rw500 and rw500-canary at %s", names, cs.CandidateHash)
+	}
+
+	// Second refinement with no new samples: the candidate is the
+	// incumbent (identical weights), there is no strict improvement, and
+	// the alias must NOT move — the gate's other branch.
+	code, cs2, msg := postRefine(t, ts)
+	if code != http.StatusOK {
+		t.Fatalf("second refine: HTTP %d (%s)", code, msg)
+	}
+	if cs2.Promoted {
+		t.Fatalf("identical candidate promoted: %+v", cs2)
+	}
+	if cs2.CandidateHash != cs.CandidateHash || cs2.AliasHash != cs.CandidateHash {
+		t.Fatalf("alias drifted without promotion: %+v", cs2)
+	}
+
+	// Resolution now pins the promoted hash, so the same request is a
+	// cache MISS under a new content address.
+	code, st2 := postJob(t, ts, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	done2 := pollUntil(t, ts, st2.ID, func(s JobStatus) bool { return JobState(s.State).Terminal() }, 60*time.Second)
+	if done2.State != string(StateDone) {
+		t.Fatalf("resubmitted job finished %s: %s", done2.State, done2.Error)
+	}
+	if done2.CacheKey == keyBefore {
+		t.Fatalf("cache key %s unchanged across promotion; retrains must re-simulate", keyBefore)
+	}
+
+	// The metrics surface records the loop: samples, updates, both
+	// refinements, the single promotion, and the per-controller ledger.
+	var ms MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &ms); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	if ms.CanarySamples == 0 || ms.CanaryUpdates == 0 {
+		t.Fatalf("canary evidence not counted: %+v", ms)
+	}
+	if ms.CanaryRefinements != 2 || ms.CanaryPromotions != 1 || ms.CanaryLastPromoted != cs.CandidateHash {
+		t.Fatalf("canary counters: refines=%d promotions=%d last=%s, want 2/1/%s",
+			ms.CanaryRefinements, ms.CanaryPromotions, ms.CanaryLastPromoted, cs.CandidateHash)
+	}
+	mlLedger, ok := ms.Controllers["ml"]
+	if !ok {
+		t.Fatalf("no ml controller ledger in %v", ms.Controllers)
+	}
+	if mlLedger.Runs < 2 || mlLedger.OnlineUpdates == 0 || mlLedger.LastPromotedModel != cs.CandidateHash {
+		t.Fatalf("ml ledger %+v, want >=2 runs, online updates, promoted hash %s", mlLedger, cs.CandidateHash)
+	}
+	if len(mlLedger.StateResidencyCycles) == 0 {
+		t.Fatal("ml ledger has no wavelength-state residency")
+	}
+}

@@ -54,6 +54,71 @@ type metrics struct {
 	// tenants attributes traffic to the authenticated principal that
 	// caused it; keys are tenant names, created on first touch.
 	tenants map[string]*tenantCounters
+	// controllers attributes completed pearl runs to the registered
+	// controller that drove them; keys are controller names.
+	controllers map[string]*controllerCounters
+	// Canary retraining loop: window samples consumed, RLS updates
+	// applied, refinements attempted, promotions that improved the
+	// holdout, and the promoted artifact's content hash.
+	canarySamples    uint64
+	canaryUpdates    uint64
+	canaryRefines    uint64
+	canaryPromotions uint64
+	canaryLastHash   string
+}
+
+// controllerCounters is one controller family's execution ledger:
+// completed runs and wavelength-state residency (measured cycles spent
+// in each state, summed over runs). Learning controllers additionally
+// accumulate online update counts and the hash of the last model
+// version their updates promoted.
+type controllerCounters struct {
+	runs      uint64
+	residency map[int]uint64
+	updates   uint64
+	promoted  string
+}
+
+func (c *controllerCounters) addRun(residency map[int]float64, measure int64) {
+	c.runs++
+	if len(residency) == 0 || measure <= 0 {
+		return
+	}
+	if c.residency == nil {
+		c.residency = make(map[int]uint64, len(residency))
+	}
+	for wl, frac := range residency {
+		c.residency[wl] += uint64(frac * float64(measure))
+	}
+}
+
+// controllerSnapshot renders the ledger for the metrics payload;
+// callers hold m.mu.
+func (c *controllerCounters) snapshot() ControllerSnapshot {
+	cs := ControllerSnapshot{
+		Runs:              c.runs,
+		OnlineUpdates:     c.updates,
+		LastPromotedModel: c.promoted,
+	}
+	if len(c.residency) > 0 {
+		cs.StateResidencyCycles = make(map[int]uint64, len(c.residency))
+		for wl, cyc := range c.residency {
+			cs.StateResidencyCycles[wl] = cyc
+		}
+	}
+	return cs
+}
+
+// snapshotControllers renders a whole ledger map; callers hold m.mu.
+func snapshotControllers(set map[string]*controllerCounters) map[string]ControllerSnapshot {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make(map[string]ControllerSnapshot, len(set))
+	for name, cc := range set {
+		out[name] = cc.snapshot()
+	}
+	return out
 }
 
 // tenantCounters is one tenant's share of the global counters, plus
@@ -74,15 +139,71 @@ type tenantCounters struct {
 	eventsEmitted uint64
 	eventsDropped uint64
 	streamsOpen   int
+	// controllers is the tenant's slice of the per-controller ledger.
+	controllers map[string]*controllerCounters
 }
 
 func newMetrics(workers int) *metrics {
 	return &metrics{
-		workers: workers,
-		latency: stats.NewHistogram(1 << 16),
-		upSince: time.Now(),
-		tenants: make(map[string]*tenantCounters),
+		workers:     workers,
+		latency:     stats.NewHistogram(1 << 16),
+		upSince:     time.Now(),
+		tenants:     make(map[string]*tenantCounters),
+		controllers: make(map[string]*controllerCounters),
 	}
+}
+
+// controllerEntry returns a ledger entry, creating it on first touch;
+// callers hold m.mu.
+func controllerEntry(set map[string]*controllerCounters, name string) *controllerCounters {
+	cc, ok := set[name]
+	if !ok {
+		cc = &controllerCounters{}
+		set[name] = cc
+	}
+	return cc
+}
+
+// controllerRun attributes one completed pearl run to its controller,
+// globally and on the owning tenant. name is empty for cmesh runs
+// (no wavelength-state controller), which are not attributed.
+func (m *metrics) controllerRun(tn, name string, residency map[int]float64, measure int64) {
+	if name == "" {
+		return
+	}
+	m.mu.Lock()
+	controllerEntry(m.controllers, name).addRun(residency, measure)
+	tc := m.forTenant(tn)
+	if tc.controllers == nil {
+		tc.controllers = make(map[string]*controllerCounters)
+	}
+	controllerEntry(tc.controllers, name).addRun(residency, measure)
+	m.mu.Unlock()
+}
+
+// canaryObserved accumulates the retraining feed: raw window samples
+// consumed and RLS updates applied, attributed to the controller whose
+// serving path the canary refines.
+func (m *metrics) canaryObserved(ctrlName string, samples, updates uint64) {
+	m.mu.Lock()
+	m.canarySamples += samples
+	m.canaryUpdates += updates
+	controllerEntry(m.controllers, ctrlName).updates += updates
+	m.mu.Unlock()
+}
+
+// canaryRefined records one refinement attempt; hash is the promoted
+// artifact's content hash when the candidate beat the incumbent on the
+// holdout (promoted), empty otherwise.
+func (m *metrics) canaryRefined(ctrlName string, promoted bool, hash string) {
+	m.mu.Lock()
+	m.canaryRefines++
+	if promoted {
+		m.canaryPromotions++
+		m.canaryLastHash = hash
+		controllerEntry(m.controllers, ctrlName).promoted = hash
+	}
+	m.mu.Unlock()
 }
 
 // forTenant returns the tenant's counter block; callers hold m.mu.
@@ -306,6 +427,27 @@ type MetricsSnapshot struct {
 	TenantsConfigured int                       `json:"tenants_configured"`
 	JobsThrottled     uint64                    `json:"jobs_throttled"`
 	Tenants           map[string]TenantSnapshot `json:"tenants,omitempty"`
+	// Per-controller execution ledger keyed by registered controller
+	// name (static, reactive, ml, proteus, d3noc, ...).
+	Controllers map[string]ControllerSnapshot `json:"controllers,omitempty"`
+	// Canary retraining loop (zero-valued unless -canary is configured).
+	CanarySamples      uint64 `json:"canary_samples"`
+	CanaryUpdates      uint64 `json:"canary_updates"`
+	CanaryRefinements  uint64 `json:"canary_refinements"`
+	CanaryPromotions   uint64 `json:"canary_promotions"`
+	CanaryLastPromoted string `json:"canary_last_promoted,omitempty"`
+}
+
+// ControllerSnapshot is one controller family's slice of the metrics
+// payload: completed runs, wavelength-state residency in measured
+// cycles keyed by wavelength count, and — for learning controllers —
+// online updates applied plus the last model hash those updates
+// promoted.
+type ControllerSnapshot struct {
+	Runs                 uint64         `json:"runs"`
+	StateResidencyCycles map[int]uint64 `json:"state_residency_cycles,omitempty"`
+	OnlineUpdates        uint64         `json:"online_updates,omitempty"`
+	LastPromotedModel    string         `json:"last_promoted_model,omitempty"`
 }
 
 // TenantSnapshot is one tenant's slice of the metrics payload.
@@ -332,6 +474,8 @@ type TenantSnapshot struct {
 	EventsEmitted uint64 `json:"events_emitted"`
 	EventsDropped uint64 `json:"events_dropped"`
 	StreamsOpen   int    `json:"streams_open"`
+	// Per-controller execution ledger for this tenant's completed runs.
+	Controllers map[string]ControllerSnapshot `json:"controllers,omitempty"`
 }
 
 // diskSnapshot carries the disk store's live footprint into snapshot.
@@ -400,6 +544,13 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int,
 
 		TenantsConfigured: tg.configured,
 		JobsThrottled:     m.throttled,
+
+		Controllers:        snapshotControllers(m.controllers),
+		CanarySamples:      m.canarySamples,
+		CanaryUpdates:      m.canaryUpdates,
+		CanaryRefinements:  m.canaryRefines,
+		CanaryPromotions:   m.canaryPromotions,
+		CanaryLastPromoted: m.canaryLastHash,
 	}
 	if m.workers > 0 {
 		s.WorkerUtilization = float64(m.busy) / float64(m.workers)
@@ -439,6 +590,7 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int,
 				ts.EventsEmitted = tc.eventsEmitted
 				ts.EventsDropped = tc.eventsDropped
 				ts.StreamsOpen = tc.streamsOpen
+				ts.Controllers = snapshotControllers(tc.controllers)
 			}
 			s.Tenants[n] = ts
 		}

@@ -217,8 +217,8 @@ func TestSweepSkipsUnservableMLPoints(t *testing.T) {
 	if !strings.Contains(sk.Label, "RW2000") || !strings.Contains(sk.Reason, "hosted model") {
 		t.Fatalf("skip entry %+v lacks label/reason", sk)
 	}
-	if st.Total != 5 {
-		t.Fatalf("scheduled %d points, want 5 (6 fig7 rows minus 1 skip)", st.Total)
+	if st.Total != 7 {
+		t.Fatalf("scheduled %d points, want 7 (8 fig7 rows minus 1 skip)", st.Total)
 	}
 
 	final := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.Done+b.Failed+b.Cancelled == b.Total }, 60*time.Second)
@@ -232,7 +232,7 @@ func TestSweepSkipsUnservableMLPoints(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/v1/batches/"+st.ID+"/results", &res); code != http.StatusOK {
 		t.Fatalf("results: HTTP %d", code)
 	}
-	if !res.Complete || len(res.Skipped) != 1 || len(res.Series) != 5 {
+	if !res.Complete || len(res.Skipped) != 1 || len(res.Series) != 7 {
 		t.Fatalf("results complete=%v skipped=%d series=%d", res.Complete, len(res.Skipped), len(res.Series))
 	}
 	for _, row := range res.Series {

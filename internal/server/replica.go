@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/models"
 )
 
 // Server-side replicated execution: a batch point with seeds: N expands
@@ -18,10 +17,6 @@ import (
 // is invisible to the API: members keep their individual lifecycles
 // (cache hits, singleflight coalescing, cancellation, per-seed cache
 // entries), the carrier only owns the worker slot and the shared run.
-
-// A hosted model artifact is immutable once loaded, so lockstep
-// replicas may share it across worker goroutines.
-var _ experiments.ReplicaSafePredictor = (*models.Artifact)(nil)
 
 // maxSeedsPerPoint bounds one batch point's seed fan-out.
 const maxSeedsPerPoint = 32
@@ -54,7 +49,7 @@ func (s jobSpec) canReplicate() error {
 	if s.backend == BackendCMESH {
 		return nil
 	}
-	return experiments.CanReplicate(s.cfg, s.predictor)
+	return experiments.CanReplicate(s.cfg, s.ctrl)
 }
 
 // runReplicated executes one lockstep run over the given seeds,
@@ -66,7 +61,7 @@ func (s jobSpec) runReplicated(ctx context.Context, seeds []uint64, onWindow fun
 	if s.backend == BackendCMESH {
 		return experiments.RunCMESHReplicatedSeeds(ctx, s.cfg, s.pair, opts, seeds, s.linkScale)
 	}
-	return experiments.RunPEARLReplicatedSeeds(ctx, s.cfg, s.pair, opts, seeds, s.predictor)
+	return experiments.RunPEARLReplicatedSeeds(ctx, s.cfg, s.pair, opts, seeds, s.ctrl)
 }
 
 // replicaSeed derives the base seed of the i-th member of a seeds:N
@@ -205,6 +200,7 @@ func (s *Server) runReplicatedJob(carrier *Job) {
 			}
 			if m.finish(StateDone, payload, nil) {
 				s.metrics.jobCompleted(m.tenant, perSeed, cycles)
+				s.metrics.controllerRun(m.tenant, spec.ctrlName, payload.StateResidency, spec.measure)
 			}
 		}
 		carrier.finish(StateDone, nil, nil)

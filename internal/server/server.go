@@ -77,6 +77,19 @@ type Options struct {
 	// MaxStreamsPerTenant caps a tenant's concurrent SSE streams when
 	// its own max_streams limit is unset (default 16).
 	MaxStreamsPerTenant int
+	// CanaryAlias, when non-empty, enables online canary retraining for
+	// that hosted model name: locally executed PowerML jobs at the
+	// alias's window feed their window samples into an RLS estimator,
+	// and POST /v1/admin/canary/refine publishes the estimate as a new
+	// artifact version, promoting the alias only on holdout
+	// improvement. The alias must resolve at boot.
+	CanaryAlias string
+	// CanaryMinSamples is the minimum RLS updates a refinement needs
+	// (default 64).
+	CanaryMinSamples int
+	// CanaryHoldoutEvery holds every Nth sample out of training for the
+	// promotion gate (default 8).
+	CanaryHoldoutEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +141,7 @@ type Server struct {
 	models  *models.Registry
 	shard   *shardPool // nil without Options.Peers
 	tenants *tenant.Registry
+	canary  *canary // nil without Options.CanaryAlias
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -177,6 +191,14 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.models = reg
+	if opts.CanaryAlias != "" {
+		c, err := newCanary(reg, opts.CanaryAlias, opts.CanaryMinSamples, opts.CanaryHoldoutEvery, s.metrics)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.canary = c
+	}
 	tenants, err := tenant.Open(opts.TenantsFile)
 	if err != nil {
 		cancel()
@@ -204,6 +226,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	s.mux.HandleFunc("POST /v1/cache", s.handleCachePut)
 	s.mux.HandleFunc("POST /v1/admin/tenants/reload", s.handleTenantReload)
+	s.mux.HandleFunc("POST /v1/admin/canary/refine", s.handleCanaryRefine)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	for w := 0; w < opts.Workers; w++ {
@@ -214,8 +237,13 @@ func New(opts Options) (*Server, error) {
 }
 
 // buildJob constructs a job with the next id and its event ring
-// attached — every job has a feed, however briefly it lives.
+// attached — every job has a feed, however briefly it lives. Jobs the
+// canary learns from get their window-sample observer here; it is
+// execution state, never part of the cache key.
 func (s *Server) buildJob(spec jobSpec) *Job {
+	if s.canary != nil {
+		spec.canarySample = s.canary.attach(spec)
+	}
 	job := newJob(fmt.Sprintf("job-%06d", s.nextID.Add(1)), spec, s.rootCtx)
 	job.events = newEventRing(s.opts.StreamRingCapacity)
 	return job
@@ -401,6 +429,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK,
 		s.metrics.snapshot(s.reg.depth(), s.opts.QueueDepth, s.cache.Len(), s.models.Len(), disk, peers, tg))
+}
+
+// handleCanaryRefine triggers one canary refinement: package the
+// current online estimate as an artifact version, gate promotion on
+// holdout improvement, report both errors and the outcome.
+func (s *Server) handleCanaryRefine(w http.ResponseWriter, r *http.Request) {
+	if s.canary == nil {
+		httpError(w, http.StatusNotFound, "canary retraining not enabled (start pearld with -canary)")
+		return
+	}
+	st, err := s.canary.refine()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -315,6 +316,45 @@ func TestConfigOverridesAndPresetsResolve(t *testing.T) {
 	getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/result", &res)
 	if res.Config != "CMESH" {
 		t.Fatalf("cmesh result config %q", res.Config)
+	}
+}
+
+// TestJobPolicyField covers the JobRequest.Policy override: a
+// registered controller name retargets the resolved configuration's
+// power policy, and unknown names are rejected with the registered
+// list so clients can self-correct.
+func TestJobPolicyField(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		bytes.NewReader([]byte(`{"policy":"turbo","workload":{"cpu":"fmm","gpu":"DCT"}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown policy: HTTP %d, want 400", resp.StatusCode)
+	}
+	for _, name := range []string{"turbo", "static", "reactive", "ml", "proteus", "d3noc"} {
+		if !strings.Contains(apiErr.Error, name) {
+			t.Fatalf("unknown-policy error %q does not mention %q", apiErr.Error, name)
+		}
+	}
+
+	code, st := postJob(t, ts, `{"policy":"proteus","workload":{"cpu":"fmm","gpu":"DCT"},"warmup_cycles":200,"measure_cycles":2000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("proteus submit: HTTP %d", code)
+	}
+	if st.Config != "PROTEUS RW500" {
+		t.Fatalf("policy override resolved to %q, want PROTEUS RW500", st.Config)
+	}
+	done := pollUntil(t, ts, st.ID, func(s JobStatus) bool { return JobState(s.State).Terminal() }, 30*time.Second)
+	if done.State != string(StateDone) {
+		t.Fatalf("proteus job finished %s (error %q)", done.State, done.Error)
 	}
 }
 

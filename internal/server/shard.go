@@ -432,8 +432,8 @@ func (s *Server) runRemote(job *Job, peer *peerClient) error {
 			break
 		}
 		if errors.Is(err, errModelMissing) && !uploaded {
-			art, ok := job.spec.predictor.(*models.Artifact)
-			if !ok {
+			art := job.spec.artifact
+			if art == nil {
 				return err
 			}
 			if uerr := peer.uploadModel(ctx, art, tok); uerr != nil {

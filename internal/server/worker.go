@@ -19,7 +19,10 @@ func (s jobSpec) run(ctx context.Context, onWindow func(experiments.WindowStats)
 	if s.backend == BackendCMESH {
 		return experiments.RunCMESHCtx(ctx, s.cfg, s.pair, opts, s.linkScale)
 	}
-	return experiments.RunPEARLCtx(ctx, s.cfg, s.pair, opts, s.predictor)
+	if s.backend == BackendPEARL && s.canarySample != nil {
+		opts.OnWindowSample = s.canarySample
+	}
+	return experiments.RunPEARLCtx(ctx, s.cfg, s.pair, opts, s.ctrl)
 }
 
 // worker drains the queue until it is closed; each claimed job runs to
@@ -71,6 +74,7 @@ func (s *Server) runJob(job *Job) {
 		job.finish(StateDone, payload, nil)
 		s.metrics.jobCompleted(job.tenant, elapsed,
 			uint64(job.spec.warmup)+uint64(job.spec.measure))
+		s.metrics.controllerRun(job.tenant, job.spec.ctrlName, payload.StateResidency, job.spec.measure)
 	case errors.Is(err, context.Canceled):
 		job.finish(StateCancelled, nil, errors.New("cancelled while running"))
 		s.metrics.jobCancelled(job.tenant)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cmesh"
 	"repro/internal/config"
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mlkit"
@@ -96,6 +97,9 @@ type (
 	Ridge = mlkit.Ridge
 	// Dataset accumulates (features, label) examples.
 	Dataset = mlkit.Dataset
+	// Controller mints wavelength-state policies for one configuration
+	// and declares its capabilities (see internal/controller).
+	Controller = controller.Controller
 )
 
 // Configuration presets matching the paper's evaluated designs.
@@ -160,17 +164,32 @@ func NewPowerAccount() *PowerAccount {
 // NewSuite returns the full-evaluation driver.
 func NewSuite(opts Options) *Suite { return experiments.NewSuite(opts) }
 
-// Run simulates one photonic configuration on one benchmark pair. For
-// PowerML configurations pass the trained model as predictor; otherwise
-// predictor may be nil.
+// Run simulates one photonic configuration on one benchmark pair. The
+// configuration's registered controller drives the wavelength-state
+// policy; model-needing configurations (PowerML) must go through
+// RunWithModel or NewController instead.
 func Run(cfg Config, pair Pair, opts Options) (Result, error) {
 	return experiments.RunPEARL(cfg, pair, opts, nil)
 }
 
-// RunWithModel simulates an ML power-scaling configuration.
+// RunWithModel simulates an ML power-scaling configuration by building
+// its controller around the trained model artifact.
 func RunWithModel(cfg Config, pair Pair, opts Options, model *TrainedModel) (Result, error) {
-	return experiments.RunPEARL(cfg, pair, opts, model)
+	ctrl, err := controller.New(cfg, model)
+	if err != nil {
+		return Result{}, err
+	}
+	return experiments.RunPEARL(cfg, pair, opts, ctrl)
 }
+
+// NewController builds the registered wavelength-state controller for a
+// configuration (model may be nil unless the controller needs one).
+func NewController(cfg Config, model *TrainedModel) (Controller, error) {
+	return controller.New(cfg, model)
+}
+
+// ControllerNames lists the registered controller policy names.
+func ControllerNames() []string { return controller.Names() }
 
 // RunCMESH simulates the electrical baseline (linkScale 1 matches the
 // 64-wavelength photonic bisection).
