@@ -32,15 +32,18 @@ type benchBaseline struct {
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 }
 
-// replicatedGate is the cross-benchmark speedup gate: the replicated
-// kernel benchmark (one op = one replica-cycle) must deliver at least
-// MinAggregateSpeedup aggregate cycles/sec over the sequential
+// speedupGate is a cross-benchmark speedup gate: the gated benchmark
+// must deliver at least MinAggregateSpeedup over the sequential
 // reference when the runner has 2+ processors to parallelise across.
-// On a single processor replication cannot beat sequential — the gate
-// degrades to SingleProcFloor, a no-pathological-regression bound on
-// the same ratio (lockstep overhead plus the cache footprint of N
-// replica stacks sharing one core).
-type replicatedGate struct {
+// On a single processor parallel execution cannot beat sequential —
+// the gate degrades to SingleProcFloor, a no-pathological-regression
+// bound on the same ratio. Two instances are gated: the lockstep
+// replica engine (one op = one replica-cycle; overhead is lockstep
+// sync plus the cache footprint of N replica stacks on one core) and
+// the intra-replica parallel tick (one op = one cycle; overhead is
+// the scratch-record/commit-replay bookkeeping and the fork/join
+// barriers).
+type speedupGate struct {
 	Benchmark           string  `json:"benchmark"`
 	Reference           string  `json:"reference"`
 	MinAggregateSpeedup float64 `json:"min_aggregate_speedup"`
@@ -49,8 +52,9 @@ type replicatedGate struct {
 
 // baselineFile is the subset of BENCH_kernel.json the gate reads.
 type baselineFile struct {
-	After          map[string]benchBaseline `json:"after"`
-	ReplicatedGate *replicatedGate          `json:"replicated_gate"`
+	After            map[string]benchBaseline `json:"after"`
+	ReplicatedGate   *speedupGate             `json:"replicated_gate"`
+	ParallelTickGate *speedupGate             `json:"parallel_tick_gate"`
 }
 
 // sample is one parsed benchmark result line.
@@ -132,32 +136,36 @@ func realMain() int {
 				name, s.allocsPerOp, b.AllocsPerCycle, allocLimit, status)
 		}
 	}
-	if g := base.ReplicatedGate; g != nil {
-		repl, haveRepl := results[g.Benchmark]
-		ref, haveRef := results[g.Reference]
-		if haveRepl && haveRef {
-			checked++
-			r, s := mean(ref), mean(repl)
-			// One replicated op is one replica-cycle, so the sequential
-			// reference's ns/op over the replicated ns/op is the aggregate
-			// cycles·replicas/sec speedup directly.
-			speedup := r.nsPerOp / s.nsPerOp
-			required := g.MinAggregateSpeedup
-			kind := "aggregate speedup"
-			if s.procs < 2 {
-				// A single-core runner cannot parallelise the replicas; hold
-				// the floor instead of the speedup target.
-				required = g.SingleProcFloor
-				kind = "single-proc floor"
-			}
-			status := "ok"
-			if speedup < required {
-				status = "FAIL"
-				failed++
-			}
-			fmt.Printf("%-24s %.2fx vs %s (procs=%d, %s >= %.2fx)  %s\n",
-				g.Benchmark, speedup, g.Reference, s.procs, kind, required, status)
+	for _, g := range []*speedupGate{base.ReplicatedGate, base.ParallelTickGate} {
+		if g == nil {
+			continue
 		}
+		gated, haveGated := results[g.Benchmark]
+		ref, haveRef := results[g.Reference]
+		if !haveGated || !haveRef {
+			continue
+		}
+		checked++
+		r, s := mean(ref), mean(gated)
+		// Both sides count ns per (replica-)cycle, so the sequential
+		// reference's ns/op over the gated ns/op is the aggregate
+		// cycles/sec speedup directly.
+		speedup := r.nsPerOp / s.nsPerOp
+		required := g.MinAggregateSpeedup
+		kind := "aggregate speedup"
+		if s.procs < 2 {
+			// A single-core runner cannot parallelise anything; hold
+			// the floor instead of the speedup target.
+			required = g.SingleProcFloor
+			kind = "single-proc floor"
+		}
+		status := "ok"
+		if speedup < required {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-24s %.2fx vs %s (procs=%d, %s >= %.2fx)  %s\n",
+			g.Benchmark, speedup, g.Reference, s.procs, kind, required, status)
 	}
 	if checked == 0 {
 		return fail(fmt.Errorf("no gated benchmark appeared in the input — is the bench step wired correctly?"))

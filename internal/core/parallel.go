@@ -1,0 +1,188 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/photonic"
+	"repro/internal/sim"
+)
+
+// Parallel tick: the per-cycle router work splits into a router-local
+// phase that runs on a TickPool and a sequential commit that replays
+// every shared-state effect in exact router order, so results are
+// byte-identical to the sequential kernel at any worker count and any
+// GOMAXPROCS.
+//
+// The sequential kernel ticks routers 0..16 in order, each doing
+// boundary → eject → allocate → progress → start → observe. The
+// partition below relies on three structural facts:
+//
+//   - Phase locality. allocateBandwidth and the state-advance half of
+//     progressTransmissions read and write only their own router
+//     (buffers are pushed by the workload before Network.Tick and by
+//     arrivals in the event phase, never by other routers' ticks), so
+//     they run concurrently in any partition.
+//   - Shared-state replay. Everything that touches shared state — the
+//     eject path (delivery → workload RNG/pool), modulation energy,
+//     arrival scheduling (engine sequence numbers), and transmission
+//     starts (cross-router reservations) — runs in the commit loop in
+//     the exact order the sequential kernel would have issued it.
+//   - Field disjointness. The few effects that commit later than their
+//     sequential position (AddRouterCycle after a later router's
+//     AddMLPrediction, for example) land in power.Account fields no
+//     other add type touches, and float accumulation order is preserved
+//     within every field, so the reordering is bitwise invisible.
+//
+// Routers at a reservation-window boundary skip the local phase
+// entirely: windowBoundary changes state, stalls and the collector, so
+// the whole tick runs at the router's commit slot, exactly where the
+// sequential kernel would run it.
+
+// finished records one transmission completed during the local phase;
+// its arrival event is scheduled at commit so engine sequence numbers
+// match the sequential kernel.
+type finished struct {
+	p     *noc.Packet
+	class noc.Class
+}
+
+// tickScratch is one router's phase-one output, replayed at commit.
+type tickScratch struct {
+	boundary bool
+	// mods holds the ring count of each AddModulation the sequential
+	// progress scan would have issued, in scan order.
+	mods []int
+	fins []finished
+}
+
+// SetTickPool installs (or removes, with nil) the worker pool driving
+// the parallel tick. The pool must outlive every Tick; the caller owns
+// Close. With no pool Tick runs the sequential kernel unchanged.
+func (n *Network) SetTickPool(p *sim.TickPool) {
+	n.pool = p
+	if p != nil && n.tickTask == nil {
+		// Bound once so Run never allocates a closure per cycle.
+		n.tickTask = n.runTickLocal
+	}
+}
+
+// runTickLocal is the pool task: each worker advances the router-local
+// phase for its strided partition. Any partition yields the same
+// per-router scratch, which is what makes the worker count invisible.
+func (n *Network) runTickLocal(worker, workers int) {
+	cycle := n.tickCycle
+	for i := worker; i < config.NumRouters; i += workers {
+		n.routers[i].tickLocal(cycle, &n.scratch[i])
+	}
+}
+
+// tickParallel is one full cycle on the pool: fork the local phase,
+// then commit routers in index order, then observe in index order (the
+// observation inputs are all router-local, so deferring observe past
+// the commit loop reads exactly the values the sequential kernel read
+// at each router's slot).
+func (n *Network) tickParallel(cycle int64) {
+	n.tickCycle = cycle
+	n.pool.Run(n.tickTask)
+	for i, r := range n.routers {
+		n.commitTick(r, cycle, &n.scratch[i])
+	}
+	for _, r := range n.routers {
+		r.observe(cycle)
+	}
+	if n.acct != nil {
+		n.acct.AddCycle()
+	}
+}
+
+// commitTick replays router r's shared-state effects at its sequential
+// slot: ejections (live — they drive the workload's RNG and packet
+// pool), modulation accounting, arrival scheduling, and transmission
+// starts (live — they arbitrate cross-router buffer reservations).
+func (n *Network) commitTick(r *Router, cycle int64, sc *tickScratch) {
+	if sc.boundary {
+		r.tickMain(cycle)
+		return
+	}
+	r.ejectArrivals(cycle)
+	if acct := n.acct; acct != nil {
+		for _, rings := range sc.mods {
+			acct.AddModulation(rings, 1)
+		}
+	}
+	for _, f := range sc.fins {
+		n.engine.SchedulePayload(PipelineCycles, n, f.p, int64(f.class))
+	}
+	r.startTransmissions(cycle)
+}
+
+// tickLocal runs the router-local phase: bandwidth allocation and the
+// state half of the progress scan. Ejection stays in commit (delivery
+// has global effects) but does not feed allocation — it drains netIn
+// while Algorithm 1 reads coreIn — so hoisting allocation ahead of it
+// is exact.
+func (r *Router) tickLocal(cycle int64, sc *tickScratch) {
+	sc.mods = sc.mods[:0]
+	sc.fins = sc.fins[:0]
+	if cycle == r.nextWindowEnd {
+		// windowBoundary rewrites state, stalls and the collector; the
+		// whole tick must run at this router's commit slot.
+		sc.boundary = true
+		return
+	}
+	sc.boundary = false
+	r.allocateBandwidth()
+	r.progressRecord(cycle, sc)
+}
+
+// progressRecord is progressTransmissions with the shared-state calls
+// recorded instead of issued: transmitter state, txActive and departure
+// stamps advance in place (all router-local), while modulation adds and
+// arrival events are queued for commit in scan order. Mirror of
+// progressTransmissions — keep the two in lockstep.
+func (r *Router) progressRecord(cycle int64, sc *tickScratch) {
+	if r.txActive[noc.ClassCPU]+r.txActive[noc.ClassGPU] == 0 {
+		return
+	}
+	stalled := cycle < r.stallUntil
+	shares := r.currentShares()
+	var rates [noc.NumClasses]float64
+	var rings [noc.NumClasses]int
+	acct := r.net.acct
+	if !stalled {
+		for c := range rates {
+			rates[c] = shares[c] * r.stateBits
+		}
+		if acct != nil {
+			for c := range rings {
+				rings[c] = int(shares[c]*r.stateWLf + 0.5)
+			}
+		}
+	}
+	fcfs := r.net.cfg.Bandwidth == config.PolicyFCFS
+	for c := range r.tx {
+		if !fcfs && r.txActive[c] == 0 {
+			continue
+		}
+		for i := range r.tx[c] {
+			t := &r.tx[c][i]
+			if !t.busyNow() {
+				continue
+			}
+			rate := rates[t.class]
+			t.remaining -= rate
+			t.elapsed++
+			if acct != nil && rate > 0 {
+				sc.mods = append(sc.mods, rings[t.class])
+			}
+			if t.remaining <= 0 && t.elapsed >= photonic.FrameCycles {
+				p := t.pkt
+				class := t.class
+				t.pkt = nil
+				r.txActive[class]--
+				p.DepartCycle = cycle
+				sc.fins = append(sc.fins, finished{p: p, class: class})
+			}
+		}
+	}
+}

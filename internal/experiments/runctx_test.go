@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// A cancellation landing DURING the final cycle chunk — after the last
+// top-of-loop context check, before the return — races a fully computed
+// result. The run completed every requested cycle, so the caller must
+// get the result, not a spurious context error. These tests pin that by
+// scheduling cancel() as a simulator event inside the last cycle: the
+// chunk loop never sees the cancellation until all n cycles are done.
+
+func TestRunCyclesCompletedRunSurvivesLateCancel(t *testing.T) {
+	engine := sim.NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 100
+	engine.Schedule(n-1, func(int64) { cancel() })
+	if err := runCycles(ctx, engine, n); err != nil {
+		t.Fatalf("runCycles returned %v after completing all %d cycles", err, n)
+	}
+	if got := engine.Cycle(); got != n {
+		t.Fatalf("engine stopped at cycle %d, want %d", got, n)
+	}
+}
+
+func TestRunCyclesCancelledMidRunStillErrors(t *testing.T) {
+	// Sanity: the fix must not weaken real cancellation — a cancel with
+	// chunks still to run aborts with the context error.
+	engine := sim.NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancel()
+	if err := runCycles(ctx, engine, 10*runCtxChunk); err != context.Canceled {
+		t.Fatalf("runCycles = %v, want context.Canceled", err)
+	}
+}
+
+func TestLockstepRunCtxCompletedRunSurvivesLateCancel(t *testing.T) {
+	cfg := config.PEARLDyn()
+	pair := traffic.TestPairs()[0]
+	opts := Quick()
+	seeds := ReplicaSeeds(opts.Seed, cfg.Name(), pair.Name(), 2)
+	l, err := NewPEARLLockstep(cfg, pair, opts, seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 64
+	// Replica 0's engine fires the cancel inside the final (only) chunk.
+	l.replicas[0].engine.Schedule(n-1, func(int64) { cancel() })
+	if err := l.runCtx(ctx, n); err != nil {
+		t.Fatalf("runCtx returned %v after completing all %d cycles", err, n)
+	}
+	for i := range l.replicas {
+		if got := l.replicas[i].engine.Cycle(); got != n {
+			t.Fatalf("replica %d stopped at cycle %d, want %d", i, got, n)
+		}
+	}
+}

@@ -121,3 +121,58 @@ func TestNearestRankMatchesHistogram(t *testing.T) {
 		t.Fatal("empty sample set must report 0")
 	}
 }
+
+// TestPercentileEdgeCases pins the nearest-rank edge behavior with an
+// explicit table driven through BOTH implementations (the sampler's
+// nearestRank and stats.Histogram.Percentile). The audited hazard: at
+// p→0⁺ the raw rank ceil(p/100·n) would be 0 (index −1); NaN p makes
+// the float→int conversion implementation-defined. Both code paths
+// guard these (p<=0 short-circuits to the minimum; rank<1 clamps to 1),
+// and this table keeps any future edit honest about it.
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"empty p50", nil, 50, 0},
+		{"empty p0", nil, 0, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p negative", []float64{7}, -5, 7},
+		{"single p tiny", []float64{7}, 1e-9, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"single p over 100", []float64{7}, 150, 7},
+		{"single p NaN", []float64{7}, math.NaN(), 7},
+		{"pair p0", []float64{2, 1}, 0, 1},
+		{"pair p tiny", []float64{2, 1}, 1e-9, 1},
+		{"pair p50 is first", []float64{2, 1}, 50, 1},
+		{"pair just past p50", []float64{2, 1}, math.Nextafter(50, 100), 2},
+		{"pair p100", []float64{2, 1}, 100, 2},
+		{"pair p NaN", []float64{2, 1}, math.NaN(), 1},
+		{"quad p25 boundary", []float64{40, 10, 30, 20}, 25, 10},
+		{"quad just past p25", []float64{40, 10, 30, 20}, math.Nextafter(25, 100), 20},
+		{"quad p75 boundary", []float64{40, 10, 30, 20}, 75, 30},
+		{"quad p99", []float64{40, 10, 30, 20}, 99, 40},
+		{"quad p tiny", []float64{40, 10, 30, 20}, 1e-12, 10},
+	}
+	for _, tc := range cases {
+		h := stats.NewHistogram(0)
+		for _, v := range tc.samples {
+			h.Add(v)
+		}
+		// nearestRank sorts in place; give it its own copy so the table
+		// stays readable in unsorted order.
+		xs := append([]float64(nil), tc.samples...)
+		if got := nearestRank(xs, tc.p); got != tc.want {
+			t.Errorf("%s: nearestRank = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := h.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Histogram.Percentile = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := h.Percentiles(tc.p); got[0] != tc.want {
+			t.Errorf("%s: Histogram.Percentiles = %v, want %v", tc.name, got[0], tc.want)
+		}
+	}
+}

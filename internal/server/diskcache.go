@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -87,11 +88,17 @@ func encodeCacheEntry(e CacheEntry) ([]byte, error) {
 // under a live key. Loads are corruption-tolerant: a truncated,
 // mangled or mis-keyed file is a wrapped error the caller treats as a
 // miss, never a panic or garbage served as a result. Total footprint is
-// capped; the oldest entries (by mtime) are evicted past the cap.
+// capped; the oldest entries (by mtime, content key breaking ties) are
+// evicted past the cap.
 type diskStore struct {
 	dir      string
 	maxBytes int64
 	mu       sync.Mutex
+	// touchFails counts Get-path os.Chtimes failures. A failed touch is
+	// still best-effort (the hit is served), but silently dropping the
+	// error hides a cache directory drifting toward FIFO eviction —
+	// /metrics surfaces the count instead.
+	touchFails atomic.Uint64
 }
 
 // defaultDiskCacheBytes caps the disk cache when Options leaves it 0.
@@ -148,11 +155,18 @@ func (d *diskStore) Get(key string) (*JobResult, error) {
 	// Eviction orders by mtime, so a hit must refresh it — otherwise
 	// constantly-read entries are evicted by write age (FIFO, not LRU).
 	// Best-effort: a failed touch (e.g. a concurrent eviction) costs
-	// recency, not correctness.
+	// recency, not correctness — but it is counted, so a store whose
+	// recency tracking is silently broken shows up in /metrics.
 	now := time.Now()
-	_ = os.Chtimes(d.path(key), now, now)
+	if err := os.Chtimes(d.path(key), now, now); err != nil {
+		d.touchFails.Add(1)
+	}
 	return entry.Result, nil
 }
+
+// touchFailures reports how many Get-path recency touches have failed
+// since boot.
+func (d *diskStore) touchFailures() uint64 { return d.touchFails.Load() }
 
 // Put persists the result under key via write-to-temp + atomic rename,
 // then enforces the size cap.
@@ -190,6 +204,7 @@ func (d *diskStore) Put(key string, result *JobResult) error {
 // entryInfo is one on-disk entry's eviction bookkeeping.
 type entryInfo struct {
 	path    string
+	key     string
 	size    int64
 	modTime int64
 }
@@ -211,7 +226,8 @@ func (d *diskStore) scanLocked() ([]entryInfo, error) {
 			os.Remove(filepath.Join(d.dir, name))
 			continue
 		}
-		if !validCacheKey(name[:max(0, len(name)-len(".json"))]) || filepath.Ext(name) != ".json" {
+		key := name[:max(0, len(name)-len(".json"))]
+		if !validCacheKey(key) || filepath.Ext(name) != ".json" {
 			continue
 		}
 		info, err := de.Info()
@@ -220,6 +236,7 @@ func (d *diskStore) scanLocked() ([]entryInfo, error) {
 		}
 		entries = append(entries, entryInfo{
 			path:    filepath.Join(d.dir, name),
+			key:     key,
 			size:    info.Size(),
 			modTime: info.ModTime().UnixNano(),
 		})
@@ -228,7 +245,10 @@ func (d *diskStore) scanLocked() ([]entryInfo, error) {
 }
 
 // evictLocked removes oldest-first entries until the store fits
-// maxBytes.
+// maxBytes. Entries sharing an mtime (coarse-mtime filesystems round
+// same-second writes together) order by content key, so which entry an
+// over-full store sheds is deterministic across daemons instead of
+// following directory scan order.
 func (d *diskStore) evictLocked() error {
 	entries, err := d.scanLocked()
 	if err != nil {
@@ -241,7 +261,12 @@ func (d *diskStore) evictLocked() error {
 	if total <= d.maxBytes {
 		return nil
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].modTime < entries[j].modTime })
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].modTime != entries[j].modTime {
+			return entries[i].modTime < entries[j].modTime
+		}
+		return entries[i].key < entries[j].key
+	})
 	for _, e := range entries {
 		if total <= d.maxBytes {
 			break

@@ -227,6 +227,78 @@ func TestDiskStoreEvictionIsLRUNotFIFO(t *testing.T) {
 	}
 }
 
+// TestDiskStoreSameMtimeEvictionDeterministic: on filesystems with
+// coarse timestamps a burst of writes lands with one shared mtime, and
+// an eviction ordered purely by mtime picks victims within the tied
+// group by sort-internal accident — daemons sharing a warmed cache
+// directory would shed different entries. Ties must break on the
+// content key: of a tied-oldest group, the evicted entries are exactly
+// the lexicographically smallest keys.
+func TestDiskStoreSameMtimeEvictionDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := newDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	// Even keys form the tied-oldest group (one coarse-fs timestamp);
+	// odd keys are newer with distinct mtimes. Interleaving them in key
+	// (= directory scan) order means a pure-mtime sort really has to
+	// move elements, exposing any order the comparator leaves undefined.
+	tied := time.Now().Add(-time.Hour)
+	for i := 0; i < n; i++ {
+		if err := probe.Put(testKey(i), testResult(1)); err != nil {
+			t.Fatal(err)
+		}
+		mtime := tied
+		if i%2 == 1 {
+			mtime = tied.Add(time.Duration(i) * time.Minute)
+		}
+		if err := os.Chtimes(filepath.Join(dir, testKey(i)+".json"), mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, total := probe.stats()
+	entryBytes := total / n
+	cap := total - 4*entryBytes + entryBytes/2
+
+	// Reopen capped to force out exactly 4 entries: they must be the 4
+	// smallest-keyed members of the tied-oldest group — testKey(0), (2),
+	// (4), (6) — not whichever tied entries the sort happened to leave
+	// in front.
+	d, err := newDiskStore(dir, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		res, err := d.Get(testKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKept := i%2 == 1 || i >= 8
+		if kept := res != nil; kept != wantKept {
+			t.Errorf("entry %s (rank %d): kept=%v, want %v", testKey(i), i, kept, wantKept)
+		}
+	}
+}
+
+// TestDiskStoreTouchFailuresSurfaceInMetrics pins the /metrics plumbing
+// for the Get-path recency-touch counter: what the store counts is what
+// the endpoint reports (zero on a healthy store).
+func TestDiskStoreTouchFailuresSurfaceInMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4, CacheDir: t.TempDir()})
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.CacheDiskTouchFailures != 0 {
+		t.Fatalf("fresh store reports %d touch failures", m.CacheDiskTouchFailures)
+	}
+	s.disk.touchFails.Add(3)
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.CacheDiskTouchFailures != 3 {
+		t.Fatalf("metrics report %d touch failures, want 3", m.CacheDiskTouchFailures)
+	}
+}
+
 func TestDiskStoreSweepsStaleTempFiles(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("half a write"), 0o644); err != nil {

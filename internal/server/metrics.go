@@ -398,7 +398,11 @@ type MetricsSnapshot struct {
 	CacheDiskEntries int    `json:"cache_disk_entries"`
 	CacheDiskBytes   int64  `json:"cache_disk_bytes"`
 	CacheDiskErrors  uint64 `json:"cache_disk_errors"`
-	CacheWarmed      uint64 `json:"cache_warmed_entries"`
+	// CacheDiskTouchFailures counts Get-path recency touches
+	// (os.Chtimes) that failed; a growing count means LRU eviction is
+	// degrading toward FIFO for the affected entries.
+	CacheDiskTouchFailures uint64 `json:"cache_disk_touch_failures"`
+	CacheWarmed            uint64 `json:"cache_warmed_entries"`
 	// Shard layer (zero-valued when -peers is not configured).
 	ShardPeers            int    `json:"shard_peers"`
 	ShardRemoteDispatched uint64 `json:"shard_remote_dispatched"`
@@ -480,8 +484,9 @@ type TenantSnapshot struct {
 
 // diskSnapshot carries the disk store's live footprint into snapshot.
 type diskSnapshot struct {
-	entries int
-	bytes   int64
+	entries    int
+	bytes      int64
+	touchFails uint64
 }
 
 // tenantGauges carries the live per-tenant gauges (scheduler lane
@@ -498,29 +503,30 @@ func (m *metrics) snapshot(queueDepth, queueCap, cacheEntries, modelsHosted int,
 	defer m.mu.Unlock()
 	q := m.latency.Percentiles(50, 99)
 	s := MetricsSnapshot{
-		UptimeSeconds:    time.Since(m.upSince).Seconds(),
-		QueueDepth:       queueDepth,
-		QueueCapacity:    queueCap,
-		Workers:          m.workers,
-		WorkersBusy:      m.busy,
-		JobsSubmitted:    m.submitted,
-		JobsStarted:      m.started,
-		JobsCompleted:    m.completed,
-		JobsFailed:       m.failed,
-		JobsCancelled:    m.cancelled,
-		JobsRejected:     m.rejected,
-		JobsCoalesced:    m.coalesced,
-		BatchesSubmitted: m.batches,
-		ModelsHosted:     uint64(modelsHosted),
-		ModelUploads:     m.uploads,
-		CacheHits:        m.cacheHits,
-		CacheMisses:      m.cacheMiss,
-		CacheEntries:     cacheEntries,
-		CacheDiskHits:    m.diskHits,
-		CacheDiskEntries: disk.entries,
-		CacheDiskBytes:   disk.bytes,
-		CacheDiskErrors:  m.diskErrs,
-		CacheWarmed:      m.warmed,
+		UptimeSeconds:          time.Since(m.upSince).Seconds(),
+		QueueDepth:             queueDepth,
+		QueueCapacity:          queueCap,
+		Workers:                m.workers,
+		WorkersBusy:            m.busy,
+		JobsSubmitted:          m.submitted,
+		JobsStarted:            m.started,
+		JobsCompleted:          m.completed,
+		JobsFailed:             m.failed,
+		JobsCancelled:          m.cancelled,
+		JobsRejected:           m.rejected,
+		JobsCoalesced:          m.coalesced,
+		BatchesSubmitted:       m.batches,
+		ModelsHosted:           uint64(modelsHosted),
+		ModelUploads:           m.uploads,
+		CacheHits:              m.cacheHits,
+		CacheMisses:            m.cacheMiss,
+		CacheEntries:           cacheEntries,
+		CacheDiskHits:          m.diskHits,
+		CacheDiskEntries:       disk.entries,
+		CacheDiskBytes:         disk.bytes,
+		CacheDiskErrors:        m.diskErrs,
+		CacheDiskTouchFailures: disk.touchFails,
+		CacheWarmed:            m.warmed,
 
 		ShardPeers:            shardPeers,
 		ShardRemoteDispatched: m.shardDispatch,

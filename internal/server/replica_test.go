@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"testing"
@@ -188,6 +190,52 @@ func TestBatchSeedsValidation(t *testing.T) {
 				t.Fatalf("HTTP %d, want 400", code)
 			}
 		})
+	}
+}
+
+func TestBatchSeedsCancelledMidRunPublishesNothing(t *testing.T) {
+	// Pins runReplicatedJob's context.Canceled branch: a lockstep run
+	// aborted mid-chunk must NOT publish per-seed cache entries (the
+	// simulation never finished, so there is no result to address), and
+	// every member must settle cancelled exactly once in the metrics —
+	// finish() returning false on an already-terminal member is what
+	// keeps the counters from double-attributing.
+	s, ts := newTestServer(t, Options{Workers: 1})
+	long := `{"workloads":[{"cpu":"fmm","gpu":"DCT"}],"warmup_cycles":200,"measure_cycles":5000000,"seeds":3}`
+	code, st := postBatch(t, ts, long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", code)
+	}
+	// All three members flip running when the carrier claims the worker
+	// slot; from then on the run is inside the lockstep chunk loop.
+	pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.Running == 3 }, 30*time.Second)
+
+	// A drain with an already-expired context is the force-cancel path:
+	// rootCancel fires immediately and the lockstep engine observes it
+	// at the next chunk boundary — tens of milliseconds into a run that
+	// would otherwise take tens of seconds.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("forced shutdown returned %v, want context.Canceled", err)
+	}
+
+	done := pollBatch(t, ts, st.ID, func(b BatchStatus) bool { return b.State == "cancelled" }, 10*time.Second)
+	if done.Cancelled != 3 {
+		t.Fatalf("cancelled members %d/3: %+v", done.Cancelled, done)
+	}
+
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.CacheEntries != 0 {
+		t.Fatalf("aborted run published %d per-seed cache entries, want 0", m.CacheEntries)
+	}
+	if m.JobsCancelled != 3 {
+		t.Fatalf("cancellations counted %d, want exactly 3 (once per member)", m.JobsCancelled)
+	}
+	if m.JobsCompleted != 0 || m.ReplicaGroupsExecuted != 0 || m.ReplicaSeedsSimulated != 0 {
+		t.Fatalf("aborted run leaked success metrics: completed=%d groups=%d seeds=%d",
+			m.JobsCompleted, m.ReplicaGroupsExecuted, m.ReplicaSeedsSimulated)
 	}
 }
 

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TickPool is a persistent fork/join worker pool for the parallel cycle
+// kernel. One pool serves a whole replica: each cycle the coordinator
+// (the goroutine driving Engine.Step) calls Run for every parallel
+// phase, the pool's helpers execute the task for their worker index,
+// and Run returns only when every worker has finished — a full barrier.
+//
+// The pool is latency-oriented, not throughput-oriented: phases are
+// hundreds of nanoseconds, so helpers spin briefly on an epoch counter
+// before parking on a channel. Parking uses the Dekker-style handshake
+// below (helper publishes parked, then re-reads the epoch; coordinator
+// publishes the epoch, then reads parked), which Go's sequentially
+// consistent atomics make lossless: a helper can never sleep through a
+// wake-up, and a stale wake token is re-checked against the epoch, so
+// spurious tokens are harmless.
+//
+// Determinism is the caller's contract, not the pool's: tasks receive
+// (worker, workers) and must only touch state owned by their partition.
+// The pool guarantees the barrier, nothing about ordering inside a
+// phase.
+type TickPool struct {
+	workers int
+
+	// task is written by the coordinator before the epoch advances and
+	// read by helpers after they observe the new epoch; the atomic epoch
+	// ops order the plain accesses.
+	task func(worker, workers int)
+
+	epoch  atomic.Uint64
+	done   atomic.Int32
+	closed atomic.Bool
+
+	// wake[i] and parked[i] belong to helper i (worker index i+1).
+	wake   []chan struct{}
+	parked []atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// parkAfterSpins bounds the helpers' busy-wait between phases. Phases
+// within one cycle arrive well inside the budget, so helpers only park
+// when the engine goes idle (between runs, or during long sequential
+// stretches).
+const parkAfterSpins = 2048
+
+// NewTickPool starts a pool of the given total worker count. Worker 0
+// is the calling goroutine itself (inside Run); workers-1 helper
+// goroutines are spawned. A count below 2 spawns nothing and Run
+// degenerates to a plain call.
+func NewTickPool(workers int) *TickPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &TickPool{workers: workers}
+	n := workers - 1
+	p.wake = make([]chan struct{}, n)
+	p.parked = make([]atomic.Bool, n)
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+	}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.helper(i)
+	}
+	return p
+}
+
+// Workers returns the pool's total worker count (including the
+// coordinator).
+func (p *TickPool) Workers() int { return p.workers }
+
+// Run executes task(w, workers) for every worker index w in [0,
+// workers) — worker 0 on the calling goroutine — and returns once all
+// have finished. Not safe for concurrent Run calls; one goroutine
+// drives the pool.
+func (p *TickPool) Run(task func(worker, workers int)) {
+	if p.workers == 1 {
+		task(0, 1)
+		return
+	}
+	p.task = task
+	p.done.Store(0)
+	p.epoch.Add(1)
+	for i := range p.parked {
+		if p.parked[i].Load() {
+			select {
+			case p.wake[i] <- struct{}{}:
+			default:
+			}
+		}
+	}
+	task(0, p.workers)
+	for p.done.Load() != int32(p.workers-1) {
+		runtime.Gosched()
+	}
+}
+
+// Close shuts the helpers down and waits for them to exit. The pool
+// must be idle (no Run in flight); Run must not be called afterwards.
+// Close is idempotent.
+func (p *TickPool) Close() {
+	if p == nil || p.closed.Swap(true) {
+		return
+	}
+	p.epoch.Add(1)
+	for i := range p.wake {
+		select {
+		case p.wake[i] <- struct{}{}:
+		default:
+		}
+	}
+	p.wg.Wait()
+}
+
+func (p *TickPool) helper(i int) {
+	defer p.wg.Done()
+	var last uint64
+	for {
+		p.await(i, &last)
+		if p.closed.Load() {
+			return
+		}
+		p.task(i+1, p.workers)
+		p.done.Add(1)
+	}
+}
+
+// await blocks helper i until the epoch advances past *last, then
+// records the new epoch. Spin first, park after; a park is only
+// committed when the epoch is re-checked unchanged after publishing
+// parked[i], and a consumed wake token is itself re-checked, so neither
+// a racing Run nor a stale token can strand or double-run the helper.
+func (p *TickPool) await(i int, last *uint64) {
+	for spins := 0; ; spins++ {
+		if e := p.epoch.Load(); e != *last {
+			*last = e
+			return
+		}
+		if spins < parkAfterSpins {
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		p.parked[i].Store(true)
+		if p.epoch.Load() == *last {
+			<-p.wake[i]
+		}
+		p.parked[i].Store(false)
+	}
+}

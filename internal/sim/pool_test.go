@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestTickPoolBarrier drives many phases through pools of several sizes
+// and checks every worker ran exactly its partition each phase — the
+// barrier admits no lost or duplicated work.
+func TestTickPoolBarrier(t *testing.T) {
+	const items = 17
+	for _, workers := range []int{1, 2, 3, 4, 8, 17, 32} {
+		p := NewTickPool(workers)
+		var hits [items]int
+		task := func(worker, total int) {
+			for i := worker; i < items; i += total {
+				hits[i]++
+			}
+		}
+		const phases = 200
+		for n := 0; n < phases; n++ {
+			p.Run(task)
+		}
+		p.Close()
+		for i, h := range hits {
+			if h != phases {
+				t.Fatalf("workers=%d: item %d ran %d times, want %d", workers, i, h, phases)
+			}
+		}
+	}
+}
+
+// TestTickPoolParkAndResume lets the helpers pass their spin budget and
+// park, then verifies the next Run wakes them and completes.
+func TestTickPoolParkAndResume(t *testing.T) {
+	p := NewTickPool(4)
+	defer p.Close()
+	var count [4]int
+	task := func(worker, total int) { count[worker]++ }
+	p.Run(task)
+	time.Sleep(50 * time.Millisecond) // helpers exhaust the spin budget and park
+	p.Run(task)
+	for w, c := range count {
+		if c != 2 {
+			t.Fatalf("worker %d ran %d phases, want 2", w, c)
+		}
+	}
+}
+
+// TestTickPoolSingleProc pins the GOMAXPROCS=1 case: the barrier must
+// complete with helpers that can only run when the coordinator yields.
+func TestTickPoolSingleProc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewTickPool(4)
+	defer p.Close()
+	sum := 0
+	var partial [4]int
+	for n := 0; n < 100; n++ {
+		p.Run(func(worker, total int) { partial[worker]++ })
+	}
+	for _, c := range partial {
+		sum += c
+	}
+	if sum != 400 {
+		t.Fatalf("ran %d worker-phases, want 400", sum)
+	}
+}
+
+// TestTickPoolCloseIdempotent double-closes (including the nil pool a
+// sequential replica carries).
+func TestTickPoolCloseIdempotent(t *testing.T) {
+	p := NewTickPool(3)
+	p.Run(func(worker, total int) {})
+	p.Close()
+	p.Close()
+	var nilPool *TickPool
+	nilPool.Close()
+}

@@ -1,0 +1,146 @@
+package pearl
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/traffic"
+)
+
+// The parallel tick's whole contract is byte-identity: a run with any
+// TickWorkers count must produce exactly the Result the sequential
+// kernel produces, down to float accumulation order. These tests
+// compare entire Result structs (metrics histograms, power account
+// internals, workload counters) rather than golden scalars, so any
+// divergence anywhere in the stack fails them.
+
+// parallelOptions keeps the worker-count sweep affordable while still
+// crossing many reservation windows and laser state switches.
+func parallelOptions() experiments.Options {
+	opts := experiments.Quick()
+	opts.WarmupCycles = 1000
+	opts.MeasureCycles = 4000
+	return opts
+}
+
+func runWithWorkers(t *testing.T, cfg config.Config, workers int, opts experiments.Options) experiments.Result {
+	t.Helper()
+	opts.TickWorkers = workers
+	res, err := experiments.RunPEARL(cfg, traffic.TestPairs()[0], opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParallelTickBitIdentityPEARLDyn(t *testing.T) {
+	opts := parallelOptions()
+	want := runWithWorkers(t, config.PEARLDyn(), 0, opts)
+	for _, workers := range []int{1, 2, 3, 4, 17, 64} {
+		got := runWithWorkers(t, config.PEARLDyn(), workers, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("TickWorkers=%d diverged from sequential kernel:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestParallelTickBitIdentityFCFS covers the merged-class serializer
+// path (startFCFS / mixed-class progress scan) that PEARLDyn never
+// exercises.
+func TestParallelTickBitIdentityFCFS(t *testing.T) {
+	opts := parallelOptions()
+	want := runWithWorkers(t, config.PEARLFCFS(), 0, opts)
+	for _, workers := range []int{2, 4} {
+		got := runWithWorkers(t, config.PEARLFCFS(), workers, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("TickWorkers=%d diverged from sequential kernel (FCFS)", workers)
+		}
+	}
+}
+
+// TestParallelTickBitIdentityGolden ties the parallel kernel to the
+// frozen golden calibration: the full golden-length PEARLDyn run at 4
+// workers must equal the sequential run that TestGoldenPEARLDyn pins.
+func TestParallelTickBitIdentityGolden(t *testing.T) {
+	want := runWithWorkers(t, config.PEARLDyn(), 0, goldenOptions())
+	got := runWithWorkers(t, config.PEARLDyn(), 4, goldenOptions())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("golden-length parallel run diverged from sequential kernel")
+	}
+}
+
+// TestParallelTickGOMAXPROCSInvariance runs the parallel kernel with
+// GOMAXPROCS pinned to 1: helpers only run when the coordinator yields,
+// the harshest interleaving, and results must still be identical.
+func TestParallelTickGOMAXPROCSInvariance(t *testing.T) {
+	opts := parallelOptions()
+	want := runWithWorkers(t, config.PEARLDyn(), 0, opts)
+	prev := runtime.GOMAXPROCS(1)
+	got := runWithWorkers(t, config.PEARLDyn(), 4, opts)
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("GOMAXPROCS=1 parallel run diverged from sequential kernel")
+	}
+}
+
+// TestParallelTickWindowStreamIdentity pins the observation side
+// channels: the OnWindow stream the SSE/stats layers consume must be
+// identical under the parallel kernel, sample for sample.
+func TestParallelTickWindowStreamIdentity(t *testing.T) {
+	collect := func(workers int) []experiments.WindowStats {
+		opts := parallelOptions()
+		opts.TickWorkers = workers
+		var wins []experiments.WindowStats
+		opts.OnWindow = func(ws experiments.WindowStats) { wins = append(wins, ws) }
+		if _, err := experiments.RunPEARL(config.PEARLDyn(), traffic.TestPairs()[0], opts, nil); err != nil {
+			t.Fatal(err)
+		}
+		return wins
+	}
+	want := collect(0)
+	got := collect(4)
+	if len(want) == 0 {
+		t.Fatal("window stream empty; test is vacuous")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel kernel changed the OnWindow sample stream")
+	}
+}
+
+// TestParallelTickReplicatedComposition pins the composition rule:
+// multi-seed lockstep replication forces the tick pool off, so a
+// replicated run with TickWorkers set matches one without, seed for
+// seed (which the replica goldens already tie to single runs).
+func TestParallelTickReplicatedComposition(t *testing.T) {
+	cfg := config.PEARLDyn()
+	pair := traffic.TestPairs()[0]
+	opts := parallelOptions()
+	want, err := experiments.RunPEARLReplicated(cfg, pair, opts, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.TickWorkers = 8
+	got, err := experiments.RunPEARLReplicated(cfg, pair, opts, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("TickWorkers changed replicated results; composition rule broken")
+	}
+	// A single-seed "replicated" run keeps its pool and must also match.
+	soloSeq, err := experiments.RunPEARLReplicated(cfg, pair, parallelOptions(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloPar, err := experiments.RunPEARLReplicated(cfg, pair, opts, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(soloPar[0].Metrics, soloSeq[0].Metrics) ||
+		!reflect.DeepEqual(soloPar[0].Account, soloSeq[0].Account) {
+		t.Fatal("single-seed lockstep with a tick pool diverged from sequential")
+	}
+}
